@@ -1,0 +1,83 @@
+//! Common shape of a prepared benchmark instance.
+
+use apir_core::mem::MemImage;
+use apir_core::program::ProgramInput;
+use apir_core::spec::Spec;
+use apir_fabric::FabricConfig;
+use std::time::{Duration, Instant};
+
+/// Result checker: validates a final memory image (from any engine)
+/// against the reference algorithm.
+pub type Checker = Box<dyn Fn(&MemImage) -> Result<(), String> + Send + Sync>;
+
+/// Sequential software baseline: runs once, returns abstract work units.
+pub type SeqBaseline = Box<dyn Fn() -> u64 + Send + Sync>;
+
+/// Round-structured parallel baseline: runs with `threads` real threads,
+/// returns the per-round work profile (for the virtual-core model).
+pub type ParBaseline = Box<dyn Fn(usize) -> Vec<u64> + Send + Sync>;
+
+/// Application-specific template-parameter hints (e.g. MST throttles the
+/// in-flight edge window by shrinking its task queue, which the host then
+/// feeds incrementally).
+pub type CfgTune = Box<dyn Fn(&mut FabricConfig) + Send + Sync>;
+
+/// A fully prepared benchmark: specification + input + baselines.
+pub struct AppInstance {
+    /// Benchmark name (e.g. `SPEC-BFS`).
+    pub name: String,
+    /// The APIR specification.
+    pub spec: Spec,
+    /// Seeded memory and initial tasks.
+    pub input: ProgramInput,
+    /// Verifies a final memory image.
+    pub check: Checker,
+    /// Sequential software baseline.
+    pub run_seq: SeqBaseline,
+    /// Parallel software baseline (round profile).
+    pub run_par: ParBaseline,
+    /// Application-specific parameter hints applied on top of the
+    /// synthesized configuration.
+    pub tune: CfgTune,
+}
+
+/// A no-op tuning hook.
+pub fn no_tune() -> CfgTune {
+    Box::new(|_| {})
+}
+
+impl AppInstance {
+    /// Times the sequential baseline, returning `(seconds, work)`.
+    pub fn measure_seq(&self) -> (f64, u64) {
+        let t0 = Instant::now();
+        let work = (self.run_seq)();
+        (duration_secs(t0.elapsed()), work)
+    }
+
+    /// Times the sequential baseline over `iters` runs, returning the
+    /// minimum time (noise-robust) and the work count.
+    pub fn measure_seq_best_of(&self, iters: usize) -> (f64, u64) {
+        let mut best = f64::INFINITY;
+        let mut work = 0;
+        for _ in 0..iters.max(1) {
+            let (t, w) = self.measure_seq();
+            best = best.min(t);
+            work = w;
+        }
+        (best, work)
+    }
+}
+
+fn duration_secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+impl std::fmt::Debug for AppInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppInstance")
+            .field("name", &self.name)
+            .field("task_sets", &self.spec.task_sets().len())
+            .field("initial_tasks", &self.input.initial.len())
+            .finish()
+    }
+}

@@ -1,0 +1,28 @@
+//! # apir-apps
+//!
+//! The six irregular-application benchmarks of the paper's evaluation
+//! (Section 6.1), each expressed three ways:
+//!
+//! 1. an APIR **specification** (task sets + ECA rules) that lowers to the
+//!    simulated accelerator;
+//! 2. a **sequential software** baseline (the 1-core bars of Figure 9);
+//! 3. a **round-structured parallel software** baseline whose work profile
+//!    feeds the virtual 10-core model (the 10-core bars of Figure 9).
+//!
+//! | Benchmark | Source in the paper | Module |
+//! |---|---|---|
+//! | SPEC-BFS  | speculative BFS (Kulkarni et al.)        | [`bfs`] |
+//! | COOR-BFS  | coordinative BFS (Leiserson–Schardl)     | [`bfs`] |
+//! | SPEC-SSSP | speculative Bellman–Ford                 | [`sssp`] |
+//! | SPEC-MST  | speculative Kruskal (Blelloch et al.)    | [`mst`] |
+//! | SPEC-DMR  | speculative Delaunay mesh refinement     | [`dmr`] |
+//! | COOR-LU   | coordinative sparse blocked LU (KDG)     | [`lu`] |
+
+pub mod bfs;
+pub mod dmr;
+pub mod harness;
+pub mod lu;
+pub mod mst;
+pub mod sssp;
+
+pub use harness::AppInstance;

@@ -1,0 +1,228 @@
+//! SPEC-SSSP: speculative single-source shortest paths (Section 6.1).
+//!
+//! Bellman–Ford-based, following Hassaan/Burtscher/Pingali's
+//! ordered-vs-unordered study: `relax` tasks carry a candidate distance
+//! to a vertex; the distance commits through a StoreMin unit; a winning
+//! commit broadcasts `(vertex, dist)` so the rule engine squashes
+//! in-flight relaxations that are already dominated ("the distance of
+//! committing vertices are broadcast to all running tasks to avoid data
+//! hazard").
+
+use crate::harness::AppInstance;
+use apir_core::expr::dsl::{and, eq, ev, le, param};
+use apir_core::op::AluOp;
+use apir_core::program::ProgramInput;
+use apir_core::rule::{RuleAction, RuleDecl};
+use apir_core::spec::{Spec, TaskSetKind};
+use apir_core::MemAccess;
+use apir_runtime::pool::parallel_map;
+use apir_workloads::graph::{CsrGraph, INF};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Builds a prepared SPEC-SSSP instance over `g` from `root`.
+pub fn build(g: Arc<CsrGraph>, root: u32) -> AppInstance {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let mut s = Spec::new("SPEC-SSSP");
+    let r_row = s.region("row_ptr", n + 1);
+    let r_col = s.region("col", m.max(1));
+    let r_w = s.region("weight", m.max(1));
+    let r_dist = s.region("dist", n);
+
+    let expand = s.task_set("expand", TaskSetKind::ForAll, 2, &["eidx", "d"]);
+    let relax = s.task_set("relax", TaskSetKind::ForEach, 1, &["v", "d"]);
+
+    let commit = s.label("commit_dist");
+    // Squash an in-flight relaxation when any task commits a distance to
+    // the same vertex that is no worse than mine.
+    let rule = s.rule(RuleDecl::new("sssp_dominated", 2, true).on_label(
+        commit,
+        and(eq(ev(0), param(0)), le(ev(1), param(1))),
+        RuleAction::Return(false),
+    ));
+    {
+        let mut b = s.body(relax);
+        let v = b.field(0);
+        let d = b.field(1);
+        let cur = b.load(r_dist, v);
+        // The rule is pruning, not correctness (StoreMin guarantees the
+        // final distances): allocating the lane after the load keeps lane
+        // occupancy minimal. Holding lanes across the load latency was
+        // measured to cost more in alloc traffic than the extra squashes
+        // save — the paper's "rules should be chosen judiciously" point.
+        let h = b.alloc_rule(rule, &[v, d]);
+        let better = b.alu(AluOp::Lt, d, cur);
+        let rv = b.rendezvous(h);
+        let go = b.alu(AluOp::And, better, rv);
+        let won = b.store_min(r_dist, v, d, Some(go));
+        b.emit(commit, &[v, d], Some(won));
+        let lo = b.load(r_row, v);
+        let one = b.konst(1);
+        let v1 = b.alu(AluOp::Add, v, one);
+        let hi = b.load(r_row, v1);
+        b.enqueue_range(expand, lo, hi, &[d], Some(won));
+        // Spurious squashes (lane evictions) retry while still improving.
+        let denied = b.alu(AluOp::Sub, better, go);
+        b.requeue(&[v, d], Some(denied));
+        b.finish();
+    }
+    {
+        let mut b = s.body(expand);
+        let eidx = b.field(0);
+        let d = b.field(1);
+        let nbr = b.load(r_col, eidx);
+        let w = b.load(r_w, eidx);
+        let nd = b.alu(AluOp::Add, d, w);
+        b.enqueue(relax, &[nbr, nd], None);
+        b.finish();
+    }
+
+    let s = s.build().expect("SSSP spec validates");
+    let mut input = ProgramInput::new(&s);
+    input.mem.fill(r_row, 0, g.row_ptr());
+    let col: Vec<u64> = g.col().iter().map(|c| *c as u64).collect();
+    input.mem.fill(r_col, 0, &col);
+    let w: Vec<u64> = g.weight().iter().map(|w| *w as u64).collect();
+    input.mem.fill(r_w, 0, &w);
+    input.mem.region_mut(r_dist).fill(INF);
+    input.seed(&s, relax, &[root as u64, 0]);
+
+    let reference = g.dijkstra(root);
+    let g_seq = g.clone();
+    let g_par = g.clone();
+    AppInstance {
+        name: "SPEC-SSSP".to_string(),
+        spec: s,
+        input,
+        check: Box::new(move |mem| {
+            for (v, want) in reference.iter().enumerate() {
+                let got = mem.read(r_dist, v as u64);
+                if got != *want {
+                    return Err(format!("dist[{v}] = {got}, want {want}"));
+                }
+            }
+            Ok(())
+        }),
+        run_seq: Box::new(move || sequential_bellman_ford(&g_seq, root)),
+        run_par: Box::new(move |threads| parallel_bellman_ford(&g_par, root, threads).1),
+        tune: crate::harness::no_tune(),
+    }
+}
+
+/// Worklist Bellman–Ford (SPFA-style); returns relaxations performed.
+pub fn sequential_bellman_ford(g: &CsrGraph, root: u32) -> u64 {
+    let mut dist = vec![INF; g.num_vertices()];
+    dist[root as usize] = 0;
+    let mut q = std::collections::VecDeque::new();
+    let mut in_q = vec![false; g.num_vertices()];
+    q.push_back(root);
+    in_q[root as usize] = true;
+    let mut work = 0u64;
+    while let Some(u) = q.pop_front() {
+        in_q[u as usize] = false;
+        let du = dist[u as usize];
+        for (v, w) in g.neighbors(u) {
+            work += 1;
+            let nd = du + w as u64;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                if !in_q[v as usize] {
+                    in_q[v as usize] = true;
+                    q.push_back(v);
+                }
+            }
+        }
+    }
+    std::hint::black_box(&dist);
+    work
+}
+
+/// Round-synchronous parallel Bellman–Ford: per-round frontier relaxation
+/// with atomic min; returns distances and the per-round work profile.
+pub fn parallel_bellman_ford(g: &CsrGraph, root: u32, threads: usize) -> (Vec<u64>, Vec<u64>) {
+    let n = g.num_vertices();
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    dist[root as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![root];
+    let mut profile = Vec::new();
+    while !frontier.is_empty() {
+        let work: u64 = frontier.iter().map(|&v| g.degree(v) as u64 + 1).sum();
+        profile.push(work);
+        let chunk = frontier.len().div_ceil(threads.max(1));
+        let nexts = parallel_map(threads.max(1), |t| {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(frontier.len());
+            let mut next = Vec::new();
+            for &u in frontier.get(lo..hi).unwrap_or(&[]) {
+                let du = dist[u as usize].load(Ordering::Relaxed);
+                for (v, w) in g.neighbors(u) {
+                    let nd = du + w as u64;
+                    // Atomic fetch-min loop.
+                    let mut cur = dist[v as usize].load(Ordering::Relaxed);
+                    while nd < cur {
+                        match dist[v as usize].compare_exchange_weak(
+                            cur,
+                            nd,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => {
+                                next.push(v);
+                                break;
+                            }
+                            Err(actual) => cur = actual,
+                        }
+                    }
+                }
+            }
+            next
+        });
+        let mut merged = nexts.concat();
+        merged.sort_unstable();
+        merged.dedup();
+        frontier = merged;
+    }
+    (
+        dist.into_iter().map(AtomicU64::into_inner).collect(),
+        profile,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apir_core::interp::SeqInterp;
+    use apir_fabric::{Fabric, FabricConfig};
+    use apir_workloads::gen;
+
+    fn graph() -> Arc<CsrGraph> {
+        Arc::new(gen::road_network(10, 10, 0.9, 9, 21))
+    }
+
+    #[test]
+    fn interpreter_matches_dijkstra() {
+        let app = build(graph(), 0);
+        let res = SeqInterp::run(&app.spec, &app.input).unwrap();
+        (app.check)(&res.mem).unwrap();
+    }
+
+    #[test]
+    fn fabric_matches_dijkstra() {
+        let app = build(graph(), 0);
+        let report = Fabric::new(&app.spec, &app.input, FabricConfig::default())
+            .run()
+            .unwrap();
+        (app.check)(&report.mem_image).unwrap();
+    }
+
+    #[test]
+    fn software_baselines_agree() {
+        let g = graph();
+        let reference = g.dijkstra(5);
+        let (dist, profile) = parallel_bellman_ford(&g, 5, 3);
+        assert_eq!(dist, reference);
+        assert!(!profile.is_empty());
+        assert!(sequential_bellman_ford(&g, 5) > 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the six applications: one accelerator run and
+//! one sequential-software run per benchmark (the raw material of
+//! Figure 9 / Table 1 at small scale).
+
+use apir_bench::scale::{build_app, APP_NAMES};
+use apir_bench::Scale;
+use apir_fabric::{Fabric, FabricConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_accelerators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    for name in APP_NAMES {
+        let app = build_app(name, Scale::Small);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let report = Fabric::new(&app.spec, &app.input, FabricConfig::default())
+                    .run()
+                    .unwrap();
+                black_box(report.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_software(c: &mut Criterion) {
+    let mut g = c.benchmark_group("software_seq");
+    for name in APP_NAMES {
+        let app = build_app(name, Scale::Small);
+        g.bench_function(name, |b| b.iter(|| black_box((app.run_seq)())));
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_accelerators, bench_software
+}
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Criterion microbenchmarks of the fabric templates: task queue,
+//! memory subsystem, rule engine, and a whole small pipeline.
+
+use apir_core::rule::RuleDecl;
+use apir_core::{IndexTuple, MemImage};
+use apir_fabric::memory::{MemConfig, MemorySubsystem};
+use apir_fabric::queue::TaskQueue;
+use apir_fabric::rules::RuleEngine;
+use apir_fabric::types::{to_fields, MemReq, TaskToken};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_queue(c: &mut Criterion) {
+    c.bench_function("queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = TaskQueue::new(apir_core::TaskSetKind::ForEach, 1, 4, 4096);
+            for i in 0..1000u64 {
+                black_box(q.push_child(IndexTuple::ROOT, i, to_fields(&[i])));
+            }
+            q.commit();
+            let mut sum = 0u64;
+            while let Some(t) = q.pop() {
+                sum += t.fields[0];
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_memory(c: &mut Criterion) {
+    c.bench_function("memory_1k_reads", |b| {
+        b.iter(|| {
+            let img = MemImage::new(&[("a".into(), 1 << 16)]);
+            let mut m = MemorySubsystem::new(MemConfig::default(), img);
+            let mut got = 0usize;
+            let mut now = 0u64;
+            let mut issued = 0u64;
+            let mut resp = Vec::new();
+            while got < 1000 {
+                now += 1;
+                while issued < 1000 && m.requests.can_push() {
+                    m.requests.push(MemReq {
+                        port: 0,
+                        tag: issued,
+                        region: apir_core::RegionId(0),
+                        offset: (issued * 97) % (1 << 16),
+                        write: None,
+                    });
+                    issued += 1;
+                }
+                resp.clear();
+                m.tick(now, &mut resp);
+                got += resp.len();
+                m.commit();
+            }
+            black_box(now)
+        })
+    });
+}
+
+fn bench_rule_engine(c: &mut Criterion) {
+    use apir_core::expr::dsl::{eq, ev, param};
+    c.bench_function("rule_engine_1k_events", |b| {
+        b.iter(|| {
+            let decl = RuleDecl::new("r", 1, true).on_label(
+                apir_core::spec::LabelId(0),
+                eq(ev(0), param(0)),
+                apir_core::rule::RuleAction::Return(false),
+            );
+            let mut e = RuleEngine::new(decl, 64);
+            for i in 0..64u64 {
+                e.alloc(IndexTuple::new(&[i]), i, to_fields(&[i]), i);
+            }
+            let mut out = Vec::new();
+            for i in 0..1000u64 {
+                let msg = apir_fabric::types::EventMsg {
+                    label: apir_core::spec::LabelId(0),
+                    payload: to_fields(&[i % 64]),
+                    len: 1,
+                    index: IndexTuple::new(&[1000 + i]),
+                };
+                e.tick(&[msg], None, &mut out);
+            }
+            black_box(out.len())
+        })
+    });
+}
+
+fn bench_small_fabric(c: &mut Criterion) {
+    use apir_core::op::AluOp;
+    use apir_core::spec::{Spec, TaskSetKind};
+    use apir_fabric::{Fabric, FabricConfig};
+    let mut s = Spec::new("bench");
+    let r = s.region("cells", 4096);
+    let ts = s.task_set("inc", TaskSetKind::ForAll, 1, &["i"]);
+    let mut b = s.body(ts);
+    let i = b.field(0);
+    let v = b.load(r, i);
+    let one = b.konst(1);
+    let w = b.alu(AluOp::Add, v, one);
+    b.store_plain(r, i, w);
+    b.finish();
+    let s = s.build().unwrap();
+    let mut input = apir_core::ProgramInput::new(&s);
+    for i in 0..2048u64 {
+        input.seed(&s, ts, &[i]);
+    }
+    c.bench_function("fabric_2k_tasks", |b| {
+        b.iter(|| {
+            let report = Fabric::new(&s, &input, FabricConfig::default())
+                .run()
+                .unwrap();
+            black_box(report.cycles)
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_queue, bench_memory, bench_rule_engine, bench_small_fabric
+}
+criterion_main!(benches);

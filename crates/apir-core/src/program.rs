@@ -1,0 +1,94 @@
+//! Program input: seeded memory image plus initial tasks.
+//!
+//! The host processor "initializes task queues and waits for the FPGA to
+//! finish" (Section 5.2). A [`ProgramInput`] captures everything the host
+//! hands to an execution engine: the initial contents of every memory
+//! region and the ordered list of initially active tasks.
+
+use crate::mem::MemImage;
+use crate::spec::{Spec, TaskSetId};
+
+/// One host-seeded task: target set and data fields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeededTask {
+    /// Task set to activate.
+    pub task_set: TaskSetId,
+    /// Data fields of the token.
+    pub fields: Vec<u64>,
+}
+
+/// Seeded memory and initial tasks for one run.
+///
+/// Engines consume the input by cloning the memory image, so one input can
+/// drive the sequential interpreter, the software runtime and the fabric
+/// simulator and their results can be compared.
+#[derive(Clone, Debug)]
+pub struct ProgramInput {
+    /// Initial memory image.
+    pub mem: MemImage,
+    /// Initially active tasks, in activation (well-order counter) order.
+    pub initial: Vec<SeededTask>,
+}
+
+impl ProgramInput {
+    /// Creates an input with a zeroed memory image sized from the spec's
+    /// region declarations.
+    pub fn new(spec: &Spec) -> Self {
+        ProgramInput {
+            mem: MemImage::new(spec.regions()),
+            initial: Vec::new(),
+        }
+    }
+
+    /// Seeds one initial task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field count does not match the task set arity.
+    pub fn seed(&mut self, spec: &Spec, task_set: TaskSetId, fields: &[u64]) {
+        assert_eq!(
+            fields.len(),
+            spec.task_sets()[task_set.0].arity(),
+            "seeded task arity mismatch for `{}`",
+            spec.task_sets()[task_set.0].name
+        );
+        self.initial.push(SeededTask {
+            task_set,
+            fields: fields.to_vec(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TaskSetKind;
+
+    #[test]
+    fn seed_checks_arity() {
+        let mut s = Spec::new("t");
+        s.region("r", 8);
+        let ts = s.task_set("w", TaskSetKind::ForEach, 1, &["a", "b"]);
+        let mut b = s.body(ts);
+        b.konst(0);
+        b.finish();
+        let s = s.build().unwrap();
+        let mut input = ProgramInput::new(&s);
+        input.seed(&s, ts, &[1, 2]);
+        assert_eq!(input.initial.len(), 1);
+        assert_eq!(input.mem.capacity(crate::spec::RegionId(0)), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        let mut s = Spec::new("t");
+        let ts = s.task_set("w", TaskSetKind::ForEach, 1, &["a", "b"]);
+        let mut b = s.body(ts);
+        b.konst(0);
+        b.finish();
+        let s = s.build().unwrap();
+        let mut input = ProgramInput::new(&s);
+        input.seed(&s, ts, &[1]);
+    }
+}

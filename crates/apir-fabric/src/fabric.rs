@@ -1,0 +1,1073 @@
+//! The synthesized accelerator: pipelines + queues + rule engines + memory.
+//!
+//! This is the Model-of-Structure of Figure 7: task queues pop tokens into
+//! replicated task pipelines; pipelines are chains of primitive-operation
+//! stages generated from the BDFG; load/store units and rendezvous points
+//! complete out of order through small matching stations while every other
+//! stage is in-order; rule engines steer tokens; the host seeds initial
+//! tasks (incrementally, when queues are smaller than the seed set).
+//!
+//! Execution is cycle-by-cycle and *execution-driven*: memory operations
+//! act on the real [`apir_core::MemImage`] at completion, so the final
+//! image can be compared against the sequential interpreter.
+
+use crate::memory::{MemStats, MemorySubsystem};
+use crate::queue::TaskQueue;
+use crate::rules::{ClaimOutcome, RuleEngine, RuleEngineStats};
+use crate::types::{to_fields, Ctx, EventMsg, MemReq, TaskToken, WriteKind};
+use crate::FabricConfig;
+use apir_core::op::{BodyOp, StoreKind};
+use apir_core::spec::{ExternIn, Spec, TaskSetId};
+use apir_core::{IndexTuple, ProgramInput, MAX_FIELDS};
+use apir_sim::delay::OutOfOrderStation;
+use apir_sim::fifo::Fifo;
+use apir_sim::seconds_from_cycles;
+use apir_sim::stats::{Activity, ActivityTracker, UtilizationSummary};
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// Simulation failure.
+#[derive(Debug)]
+pub enum FabricError {
+    /// No forward progress for the configured window.
+    Deadlock {
+        /// Cycle at which deadlock was declared.
+        cycle: u64,
+        /// Human-readable state summary.
+        diagnostics: String,
+    },
+    /// The run exceeded `max_cycles`.
+    MaxCycles(u64),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Deadlock { cycle, diagnostics } => {
+                write!(f, "deadlock at cycle {cycle}: {diagnostics}")
+            }
+            FabricError::MaxCycles(c) => write!(f, "exceeded max cycles ({c})"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Results of a fabric run.
+#[derive(Clone, Debug)]
+pub struct FabricReport {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Wall time at the configured clock.
+    pub seconds: f64,
+    /// Tasks retired per task set.
+    pub retired: Vec<u64>,
+    /// Rendezvous that returned `false` (squashed tokens).
+    pub squashes: u64,
+    /// Tokens recirculated by `Requeue`.
+    pub requeues: u64,
+    /// Coordinative waits bounced by the reservation-station timeout.
+    pub bounces: u64,
+    /// Memory subsystem statistics.
+    pub mem: MemStats,
+    /// Per-rule-engine statistics.
+    pub rules: Vec<RuleEngineStats>,
+    /// The paper's pipeline utilization rate (Figure 10).
+    pub utilization: f64,
+    /// Number of primitive operations instantiated.
+    pub primitive_ops: usize,
+    /// Peak queue occupancy per task set.
+    pub queue_peaks: Vec<usize>,
+    /// Extern core invocations.
+    pub extern_calls: u64,
+    /// The final memory image.
+    pub mem_image: apir_core::MemImage,
+    /// `(cycle, task_set)` per retirement, if recording was enabled.
+    pub retirements: Vec<(u64, usize)>,
+}
+
+impl FabricReport {
+    /// Total retired tasks.
+    pub fn total_retired(&self) -> u64 {
+        self.retired.iter().sum()
+    }
+}
+
+struct Stage {
+    op: BodyOp,
+    /// Response-routing port for Load/Store/Extern/Rendezvous stages.
+    port: Option<u32>,
+    station: Option<OutOfOrderStation<Ctx>>,
+    /// Progress cursor of an in-flight `EnqueueRange`.
+    expand_pos: Option<u64>,
+    tracker: ActivityTracker,
+}
+
+struct Pipeline {
+    set: TaskSetId,
+    latches: Vec<Option<Ctx>>,
+    stages: Vec<Stage>,
+    /// Extern unit attached to this pipeline (if the body calls externs).
+    extern_unit: Option<ExternUnit>,
+}
+
+struct ExternJob {
+    tag: u64,
+    port: u32,
+    result: u64,
+    bytes_left: u64,
+    compute_left: u64,
+}
+
+struct ExternReq {
+    tag: u64,
+    port: u32,
+    ext: usize,
+    args: [u64; MAX_FIELDS],
+    nargs: u8,
+    index: IndexTuple,
+}
+
+struct ExternUnit {
+    queue: Fifo<ExternReq>,
+    busy: Option<ExternJob>,
+    calls: u64,
+}
+
+/// The accelerator instance.
+pub struct Fabric {
+    spec: Spec,
+    cfg: FabricConfig,
+    mem: MemorySubsystem,
+    queues: Vec<TaskQueue>,
+    engines: Vec<RuleEngine>,
+    pipelines: Vec<Pipeline>,
+    /// Per-port response queues `(tag, word)`.
+    resp: Vec<VecDeque<(u64, u64)>>,
+    bus_staged: Vec<EventMsg>,
+    bus_current: Vec<EventMsg>,
+    /// Live tasks: queued or in flight, keyed by `(index, seq)`.
+    live: BTreeSet<(IndexTuple, u64)>,
+    /// Host-side seed backlog, pushed in as queue space allows.
+    seed_backlog: VecDeque<(TaskSetId, [u64; MAX_FIELDS])>,
+    /// Task activations from extern cores awaiting queue space.
+    pending_tasks: VecDeque<(TaskSetId, IndexTuple, [u64; MAX_FIELDS])>,
+    /// Events from extern cores awaiting bus slots.
+    pending_events: VecDeque<EventMsg>,
+    next_seq: u64,
+    next_tag: u64,
+    cycle: u64,
+    last_progress: u64,
+    retired: Vec<u64>,
+    squashes: u64,
+    requeues: u64,
+    bounces: u64,
+    retire_log: Vec<(u64, usize)>,
+}
+
+impl Fabric {
+    /// Instantiates an accelerator for a validated spec and seeds it with
+    /// the program input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec was not validated.
+    pub fn new(spec: &Spec, input: &ProgramInput, cfg: FabricConfig) -> Self {
+        assert!(spec.is_validated(), "spec must be validated");
+        let mem = MemorySubsystem::new(cfg.mem.clone(), input.mem.clone());
+        let queues: Vec<TaskQueue> = spec
+            .task_sets()
+            .iter()
+            .map(|t| {
+                let mut q = TaskQueue::new(t.kind, t.level, cfg.queue_banks, cfg.queue_capacity);
+                // Upper bound on contexts a task set's pipelines can hold
+                // (latches + every station slot): reserve that much for
+                // recirculation so requeue can never deadlock.
+                let in_pipe = cfg.pipelines_per_set
+                    * (t.body.len()
+                        + t.body.len() * cfg.lsu_window.max(cfg.rendezvous_window));
+                q.set_reserve(in_pipe);
+                q
+            })
+            .collect();
+        let engines: Vec<RuleEngine> = spec
+            .rules()
+            .iter()
+            .map(|r| RuleEngine::new(r.clone(), cfg.rule_lanes))
+            .collect();
+        let mut next_port = 0u32;
+        let mut resp_count = 0usize;
+        let mut pipelines = Vec::new();
+        for (tsi, ts) in spec.task_sets().iter().enumerate() {
+            for _replica in 0..cfg.pipelines_per_set {
+                let mut stages = Vec::with_capacity(ts.body.len());
+                let mut has_extern = false;
+                for op in &ts.body {
+                    let (port, station) = match op {
+                        BodyOp::Load { .. } | BodyOp::Store { .. } => {
+                            let p = next_port;
+                            next_port += 1;
+                            (Some(p), Some(OutOfOrderStation::new(cfg.lsu_window)))
+                        }
+                        BodyOp::Rendezvous { .. } => {
+                            let p = next_port;
+                            next_port += 1;
+                            (Some(p), Some(OutOfOrderStation::new(cfg.rendezvous_window)))
+                        }
+                        BodyOp::Extern { .. } => {
+                            has_extern = true;
+                            let p = next_port;
+                            next_port += 1;
+                            (Some(p), Some(OutOfOrderStation::new(cfg.lsu_window)))
+                        }
+                        _ => (None, None),
+                    };
+                    stages.push(Stage {
+                        op: op.clone(),
+                        port,
+                        station,
+                        expand_pos: None,
+                        tracker: ActivityTracker::new(),
+                    });
+                }
+                resp_count = next_port as usize;
+                pipelines.push(Pipeline {
+                    set: TaskSetId(tsi),
+                    latches: vec![None; ts.body.len()],
+                    stages,
+                    extern_unit: has_extern.then(|| ExternUnit {
+                        queue: Fifo::new(4),
+                        busy: None,
+                        calls: 0,
+                    }),
+                });
+            }
+        }
+        let seed_backlog: VecDeque<(TaskSetId, [u64; MAX_FIELDS])> = input
+            .initial
+            .iter()
+            .map(|t| (t.task_set, to_fields(&t.fields)))
+            .collect();
+        Fabric {
+            retired: vec![0; spec.task_sets().len()],
+            spec: spec.clone(),
+            cfg,
+            mem,
+            queues,
+            engines,
+            pipelines,
+            resp: vec![VecDeque::new(); resp_count],
+            bus_staged: Vec::new(),
+            bus_current: Vec::new(),
+            live: BTreeSet::new(),
+            seed_backlog,
+            pending_tasks: VecDeque::new(),
+            pending_events: VecDeque::new(),
+            next_seq: 0,
+            next_tag: 0,
+            cycle: 0,
+            last_progress: 0,
+            squashes: 0,
+            requeues: 0,
+            bounces: 0,
+            retire_log: Vec::new(),
+        }
+    }
+
+    /// Runs the accelerator to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::Deadlock`] when nothing makes progress for the
+    /// configured window; [`FabricError::MaxCycles`] on timeout.
+    pub fn run(mut self) -> Result<FabricReport, FabricError> {
+        loop {
+            self.tick();
+            if self.is_done() {
+                return Ok(self.into_report());
+            }
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(FabricError::MaxCycles(self.cycle));
+            }
+            if self.cycle - self.last_progress > self.cfg.deadlock_cycles {
+                let diagnostics = self.diagnostics();
+                return Err(FabricError::Deadlock {
+                    cycle: self.cycle,
+                    diagnostics,
+                });
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.live.is_empty()
+            && self.seed_backlog.is_empty()
+            && self.pending_tasks.is_empty()
+            && self.mem.is_idle()
+    }
+
+    fn diagnostics(&self) -> String {
+        let mut s = format!(
+            "live={} seed_backlog={} pending_tasks={} ",
+            self.live.len(),
+            self.seed_backlog.len(),
+            self.pending_tasks.len()
+        );
+        for (i, q) in self.queues.iter().enumerate() {
+            s.push_str(&format!(
+                "q[{}]={} ",
+                self.spec.task_sets()[i].name,
+                q.len()
+            ));
+        }
+        for (i, e) in self.engines.iter().enumerate() {
+            s.push_str(&format!("lanes[{}]={} ", self.spec.rules()[i].name, e.occupied()));
+        }
+        let in_flight: usize = self
+            .pipelines
+            .iter()
+            .map(|p| {
+                p.latches.iter().filter(|l| l.is_some()).count()
+                    + p.stages
+                        .iter()
+                        .map(|st| st.station.as_ref().map_or(0, |s| s.len()))
+                        .sum::<usize>()
+            })
+            .sum();
+        s.push_str(&format!("in_pipeline={in_flight}"));
+        s
+    }
+
+    fn into_report(self) -> FabricReport {
+        let mut util = UtilizationSummary::new();
+        for (pi, p) in self.pipelines.iter().enumerate() {
+            for (si, st) in p.stages.iter().enumerate() {
+                util.add(format!("p{pi}.s{si}:{}", st.op.mnemonic()), st.tracker);
+            }
+        }
+        FabricReport {
+            cycles: self.cycle,
+            seconds: seconds_from_cycles(self.cfg.clock_mhz, self.cycle),
+            retired: self.retired,
+            squashes: self.squashes,
+            requeues: self.requeues,
+            bounces: self.bounces,
+            mem: self.mem.stats(),
+            rules: self.engines.iter().map(|e| e.stats()).collect(),
+            utilization: util.pipeline_utilization(),
+            primitive_ops: util.count(),
+            queue_peaks: self.queues.iter().map(|q| q.peak()).collect(),
+            extern_calls: self
+                .pipelines
+                .iter()
+                .filter_map(|p| p.extern_unit.as_ref())
+                .map(|u| u.calls)
+                .sum(),
+            mem_image: self.mem.image().clone(),
+            retirements: self.retire_log,
+        }
+    }
+
+    /// One clock cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        let now = self.cycle;
+        let mut progress = false;
+
+        // 1) Memory subsystem: completions -> response ports.
+        let mut responses = Vec::new();
+        self.mem.tick(now, &mut responses);
+        for (port, tag, word) in responses {
+            self.resp[port as usize].push_back((tag, word));
+            progress = true;
+        }
+
+        // 2) Host seeding: drain the backlog into queues.
+        while let Some(&(ts, fields)) = self.seed_backlog.front() {
+            if !self.queues[ts.0].can_push() {
+                break;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let token = self.queues[ts.0]
+                .push_child(IndexTuple::ROOT, seq, fields)
+                .expect("checked can_push");
+            self.live.insert((token.index, token.seq));
+            self.seed_backlog.pop_front();
+            progress = true;
+        }
+
+        // 3) Extern spill buffers -> queues / bus.
+        while let Some(&(ts, parent, fields)) = self.pending_tasks.front() {
+            if !self.queues[ts.0].can_push() {
+                break;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let token = self.queues[ts.0]
+                .push_child(parent, seq, fields)
+                .expect("checked can_push");
+            self.live.insert((token.index, token.seq));
+            self.pending_tasks.pop_front();
+            progress = true;
+        }
+        while self.bus_staged.len() < self.cfg.event_bus_width {
+            let Some(ev) = self.pending_events.pop_front() else { break };
+            self.bus_staged.push(ev);
+        }
+
+        // 4) Rule engines: evaluate last cycle's events + min broadcast.
+        let global_min = self.live.iter().next().copied();
+        let mut rule_out = Vec::new();
+        let bus = std::mem::take(&mut self.bus_current);
+        for e in &mut self.engines {
+            e.tick(&bus, global_min, &mut rule_out);
+        }
+        for (port, tag, word) in rule_out {
+            self.resp[port as usize].push_back((tag, word));
+            progress = true;
+        }
+
+        // 5) Extern units.
+        for pi in 0..self.pipelines.len() {
+            if self.pipelines[pi].extern_unit.is_none() {
+                continue;
+            }
+            progress |= tick_extern_unit(
+                self.pipelines[pi].extern_unit.as_mut().expect("checked"),
+                &self.spec,
+                &mut self.mem,
+                &mut self.resp,
+                &mut self.pending_tasks,
+                &mut self.pending_events,
+            );
+        }
+
+        // 6) Pipelines.
+        for pi in 0..self.pipelines.len() {
+            let p = &mut self.pipelines[pi];
+            progress |= tick_pipeline(
+                p,
+                &self.spec,
+                now,
+                self.cfg.rendezvous_timeout,
+                &mut self.queues,
+                &mut self.engines,
+                &mut self.mem,
+                &mut self.resp,
+                &mut self.bus_staged,
+                self.cfg.event_bus_width,
+                &mut self.live,
+                &mut self.next_seq,
+                &mut self.next_tag,
+                &mut self.retired,
+                &mut self.squashes,
+                &mut self.requeues,
+                &mut self.bounces,
+                self.cfg.record_retirements.then_some(&mut self.retire_log),
+            );
+        }
+
+        // 7) End of cycle: commit staged state.
+        for q in &mut self.queues {
+            q.commit();
+        }
+        self.mem.commit();
+        for p in &mut self.pipelines {
+            if let Some(u) = &mut p.extern_unit {
+                u.queue.commit();
+                progress |= u.busy.is_some();
+            }
+        }
+        self.bus_current = std::mem::take(&mut self.bus_staged);
+        if !self.bus_current.is_empty() {
+            progress = true;
+        }
+
+        if progress {
+            self.last_progress = self.cycle;
+        }
+    }
+}
+
+/// Ticks an extern unit; returns whether it made progress.
+fn tick_extern_unit(
+    unit: &mut ExternUnit,
+    spec: &Spec,
+    mem: &mut MemorySubsystem,
+    resp: &mut [VecDeque<(u64, u64)>],
+    pending_tasks: &mut VecDeque<(TaskSetId, IndexTuple, [u64; MAX_FIELDS])>,
+    pending_events: &mut VecDeque<EventMsg>,
+) -> bool {
+    let mut progress = false;
+    if let Some(job) = &mut unit.busy {
+        if job.bytes_left > 0 {
+            let granted = mem.grant_burst(job.bytes_left.min(256));
+            job.bytes_left -= granted;
+            progress |= granted > 0;
+        } else if job.compute_left > 0 {
+            job.compute_left -= 1;
+            progress = true;
+        }
+        if job.bytes_left == 0 && job.compute_left == 0 {
+            resp[job.port as usize].push_back((job.tag, job.result));
+            unit.busy = None;
+            progress = true;
+        }
+    }
+    if unit.busy.is_none() {
+        if let Some(req) = unit.queue.pop() {
+            unit.calls += 1;
+            let f = spec.externs()[req.ext].f.clone();
+            let out = f(
+                mem.image_mut(),
+                &ExternIn {
+                    args: &req.args[..req.nargs as usize],
+                    index: req.index,
+                },
+            );
+            for (ts, fields) in out.new_tasks {
+                pending_tasks.push_back((ts, req.index, to_fields(&fields)));
+            }
+            for (label, payload) in out.events {
+                pending_events.push_back(EventMsg {
+                    label,
+                    payload: to_fields(&payload),
+                    len: payload.len() as u8,
+                    index: req.index,
+                });
+            }
+            unit.busy = Some(ExternJob {
+                tag: req.tag,
+                port: req.port,
+                result: out.out,
+                bytes_left: out.cost.bytes_read + out.cost.bytes_written,
+                compute_left: out.cost.compute_cycles.max(1),
+            });
+            progress = true;
+        }
+    }
+    progress
+}
+
+/// Ticks one pipeline, tail to head; returns whether anything moved.
+#[allow(clippy::too_many_arguments)]
+fn tick_pipeline(
+    p: &mut Pipeline,
+    spec: &Spec,
+    now: u64,
+    timeout: u64,
+    queues: &mut [TaskQueue],
+    engines: &mut [RuleEngine],
+    mem: &mut MemorySubsystem,
+    resp: &mut [VecDeque<(u64, u64)>],
+    bus_staged: &mut Vec<EventMsg>,
+    bus_cap: usize,
+    live: &mut BTreeSet<(IndexTuple, u64)>,
+    next_seq: &mut u64,
+    next_tag: &mut u64,
+    retired: &mut [u64],
+    squashes: &mut u64,
+    requeues: &mut u64,
+    bounces: &mut u64,
+    retire_log: Option<&mut Vec<(u64, usize)>>,
+) -> bool {
+    let n = p.stages.len();
+    let mut progress = false;
+    let set = p.set;
+    let retired_before: u64 = retired.iter().sum();
+
+    for i in (0..n).rev() {
+        let mut busy = false;
+        // Split the borrow: current stage vs the next latch.
+        let (latch_cur, mut latch_next) = {
+            let (a, b) = p.latches.split_at_mut(i + 1);
+            (&mut a[i], b.first_mut())
+        };
+        let stage = &mut p.stages[i];
+        let next_free = latch_next.as_ref().map_or(true, |l| l.is_none());
+
+        // Phase A: drain responses into the station and retire ready
+        // entries forward.
+        if let (Some(port), Some(station)) = (stage.port, stage.station.as_mut()) {
+            while let Some((tag, word)) = resp[port as usize].pop_front() {
+                // A miss is possible: the entry may have been bounced by a
+                // timeout and its late response must be dropped.
+                let _ = station.complete(tag, word);
+            }
+            // Coordinative rendezvous entries that waited too long bounce
+            // back as `false`; their lane is cancelled.
+            if let BodyOp::Rendezvous { rule_instance, .. } = &stage.op {
+                let cutoff = now.saturating_sub(timeout);
+                if let Some(tag) = station.timeout_one(cutoff) {
+                    let rule = match &spec.task_sets()[set.0].body[rule_instance.pos()] {
+                        BodyOp::AllocRule { rule, .. } => *rule,
+                        _ => unreachable!("validated spec"),
+                    };
+                    engines[rule.0].cancel(tag);
+                    *bounces += 1;
+                }
+            }
+            // One completion may advance per cycle (station output port).
+            if next_free || i + 1 == n {
+                if let Some((mut ctx, word)) = station.take_ready() {
+                    ctx.vals[i] = word;
+                    if matches!(stage.op, BodyOp::Rendezvous { .. }) && word == 0 {
+                        *squashes += 1;
+                    }
+                    busy = true;
+                    progress = true;
+                    advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                }
+            }
+        }
+
+        // Phase B: process the latch occupant.
+        let occupied = latch_cur.is_some();
+        if let Some(ctx) = latch_cur.take() {
+            let next_free = latch_next.as_ref().map_or(true, |l| l.is_none()) || i + 1 == n;
+            let guard_ok = |g: &Option<apir_core::op::ValRef>, ctx: &Ctx| {
+                g.map_or(true, |v| ctx.vals[v.pos()] != 0)
+            };
+            let mut stalled_ctx: Option<Ctx> = None;
+            match &stage.op {
+                BodyOp::Field(f) => {
+                    if next_free {
+                        let mut ctx = ctx;
+                        ctx.vals[i] = ctx.fields[*f as usize];
+                        busy = true;
+                        advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                    } else {
+                        stalled_ctx = Some(ctx);
+                    }
+                }
+                BodyOp::IndexComp(l) => {
+                    if next_free {
+                        let mut ctx = ctx;
+                        ctx.vals[i] = ctx.index.component(*l as usize);
+                        busy = true;
+                        advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                    } else {
+                        stalled_ctx = Some(ctx);
+                    }
+                }
+                BodyOp::Const(c) => {
+                    if next_free {
+                        let mut ctx = ctx;
+                        ctx.vals[i] = *c;
+                        busy = true;
+                        advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                    } else {
+                        stalled_ctx = Some(ctx);
+                    }
+                }
+                BodyOp::Alu(op, a, b) => {
+                    if next_free {
+                        let mut ctx = ctx;
+                        ctx.vals[i] = op.eval(ctx.vals[a.pos()], ctx.vals[b.pos()]);
+                        busy = true;
+                        advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                    } else {
+                        stalled_ctx = Some(ctx);
+                    }
+                }
+                BodyOp::Select {
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    if next_free {
+                        let mut ctx = ctx;
+                        ctx.vals[i] = if ctx.vals[cond.pos()] != 0 {
+                            ctx.vals[if_true.pos()]
+                        } else {
+                            ctx.vals[if_false.pos()]
+                        };
+                        busy = true;
+                        advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                    } else {
+                        stalled_ctx = Some(ctx);
+                    }
+                }
+                BodyOp::Load { region, addr } => {
+                    let station = stage.station.as_mut().expect("load has station");
+                    if station.can_insert() && mem.requests.can_push() {
+                        let tag = *next_tag;
+                        *next_tag += 1;
+                        mem.requests.push(MemReq {
+                            port: stage.port.expect("load has port"),
+                            tag,
+                            region: *region,
+                            offset: ctx.vals[addr.pos()],
+                            write: None,
+                        });
+                        station.insert(tag, ctx);
+                        busy = true;
+                        progress = true;
+                    } else {
+                        stalled_ctx = Some(ctx);
+                    }
+                }
+                BodyOp::Store {
+                    region,
+                    addr,
+                    value,
+                    kind,
+                    guard,
+                } => {
+                    if !guard_ok(guard, &ctx) {
+                        if next_free {
+                            let mut ctx = ctx;
+                            ctx.vals[i] = 0;
+                            busy = true;
+                            advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                        } else {
+                            stalled_ctx = Some(ctx);
+                        }
+                    } else {
+                        let station = stage.station.as_mut().expect("store has station");
+                        if station.can_insert() && mem.requests.can_push() {
+                            let wk = match kind {
+                                StoreKind::Plain => WriteKind::Plain,
+                                StoreKind::Min => WriteKind::Min,
+                                StoreKind::Cas { expected } => {
+                                    WriteKind::Cas(ctx.vals[expected.pos()])
+                                }
+                                StoreKind::Add => WriteKind::Add,
+                            };
+                            let tag = *next_tag;
+                            *next_tag += 1;
+                            mem.requests.push(MemReq {
+                                port: stage.port.expect("store has port"),
+                                tag,
+                                region: *region,
+                                offset: ctx.vals[addr.pos()],
+                                write: Some((wk, ctx.vals[value.pos()])),
+                            });
+                            station.insert(tag, ctx);
+                            busy = true;
+                            progress = true;
+                        } else {
+                            stalled_ctx = Some(ctx);
+                        }
+                    }
+                }
+                BodyOp::Enqueue {
+                    task_set,
+                    fields,
+                    guard,
+                } => {
+                    if !guard_ok(guard, &ctx) {
+                        if next_free {
+                            let mut ctx = ctx;
+                            ctx.vals[i] = 0;
+                            busy = true;
+                            advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                        } else {
+                            stalled_ctx = Some(ctx);
+                        }
+                    } else if next_free && queues[task_set.0].can_push() {
+                        let mut f = [0u64; MAX_FIELDS];
+                        for (k, v) in fields.iter().enumerate() {
+                            f[k] = ctx.vals[v.pos()];
+                        }
+                        let seq = *next_seq;
+                        *next_seq += 1;
+                        let token = queues[task_set.0]
+                            .push_child(ctx.index, seq, f)
+                            .expect("checked can_push");
+                        live.insert((token.index, token.seq));
+                        let mut ctx = ctx;
+                        ctx.vals[i] = 1;
+                        busy = true;
+                        progress = true;
+                        advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                    } else {
+                        stalled_ctx = Some(ctx);
+                    }
+                }
+                BodyOp::EnqueueRange {
+                    task_set,
+                    lo,
+                    hi,
+                    extra,
+                    guard,
+                } => {
+                    let lo_v = ctx.vals[lo.pos()];
+                    let hi_v = ctx.vals[hi.pos()];
+                    if !guard_ok(guard, &ctx) || lo_v >= hi_v {
+                        if next_free {
+                            let mut ctx = ctx;
+                            ctx.vals[i] = 0;
+                            stage.expand_pos = None;
+                            busy = true;
+                            advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                        } else {
+                            stalled_ctx = Some(ctx);
+                        }
+                    } else {
+                        let pos = stage.expand_pos.get_or_insert(lo_v);
+                        // Emit one child per cycle while space is available.
+                        if *pos < hi_v && queues[task_set.0].can_push() {
+                            let mut f = [0u64; MAX_FIELDS];
+                            f[0] = *pos;
+                            for (k, v) in extra.iter().enumerate() {
+                                f[k + 1] = ctx.vals[v.pos()];
+                            }
+                            let seq = *next_seq;
+                            *next_seq += 1;
+                            let token = queues[task_set.0]
+                                .push_child(ctx.index, seq, f)
+                                .expect("checked can_push");
+                            live.insert((token.index, token.seq));
+                            *pos += 1;
+                            busy = true;
+                            progress = true;
+                        }
+                        if stage.expand_pos == Some(hi_v) && next_free {
+                            let mut ctx = ctx;
+                            ctx.vals[i] = hi_v - lo_v;
+                            stage.expand_pos = None;
+                            busy = true;
+                            advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                        } else {
+                            stalled_ctx = Some(ctx);
+                        }
+                    }
+                }
+                BodyOp::Requeue { fields, guard } => {
+                    if !guard_ok(guard, &ctx) {
+                        if next_free {
+                            let mut ctx = ctx;
+                            ctx.vals[i] = 0;
+                            busy = true;
+                            advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                        } else {
+                            stalled_ctx = Some(ctx);
+                        }
+                    } else if next_free && queues[set.0].can_push_reserved() {
+                        let mut f = [0u64; MAX_FIELDS];
+                        for (k, v) in fields.iter().enumerate() {
+                            f[k] = ctx.vals[v.pos()];
+                        }
+                        let seq = *next_seq;
+                        *next_seq += 1;
+                        let token = TaskToken {
+                            index: ctx.index,
+                            seq,
+                            fields: f,
+                        };
+                        let pushed = queues[set.0].push_fixed(token);
+                        debug_assert!(pushed, "checked can_push");
+                        live.insert((token.index, token.seq));
+                        *requeues += 1;
+                        let mut ctx = ctx;
+                        ctx.vals[i] = 1;
+                        busy = true;
+                        progress = true;
+                        advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                    } else {
+                        stalled_ctx = Some(ctx);
+                    }
+                }
+                BodyOp::AllocRule { rule, params, guard } => {
+                    if !guard_ok(guard, &ctx) {
+                        if next_free {
+                            let mut ctx = ctx;
+                            ctx.vals[i] = 0;
+                            busy = true;
+                            advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                        } else {
+                            stalled_ctx = Some(ctx);
+                        }
+                    } else if next_free {
+                        let mut ps = [0u64; MAX_FIELDS];
+                        for (k, v) in params.iter().enumerate() {
+                            ps[k] = ctx.vals[v.pos()];
+                        }
+                        let tag = *next_tag;
+                        *next_tag += 1;
+                        // Granted or nacked, the token proceeds: a nack
+                        // buffered `false` for this tag, steering the
+                        // task into its retry path at the rendezvous.
+                        let _ = engines[rule.0].alloc(ctx.index, ctx.seq, ps, tag);
+                        let mut ctx = ctx;
+                        ctx.vals[i] = tag;
+                        busy = true;
+                        progress = true;
+                        advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                    } else {
+                        stalled_ctx = Some(ctx);
+                    }
+                }
+                BodyOp::Rendezvous {
+                    rule_instance,
+                    guard,
+                } => {
+                    let rule = match &spec.task_sets()[set.0].body[rule_instance.pos()] {
+                        BodyOp::AllocRule { rule, .. } => *rule,
+                        _ => unreachable!("validated spec"),
+                    };
+                    if !guard_ok(guard, &ctx) {
+                        if next_free {
+                            let mut ctx = ctx;
+                            ctx.vals[i] = 0;
+                            busy = true;
+                            advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                        } else {
+                            stalled_ctx = Some(ctx);
+                        }
+                        // fallthrough handled; skip station path
+                    } else {
+                    let station = stage.station.as_mut().expect("rendezvous has station");
+                    let port = stage.port.expect("rendezvous has port");
+                    if station.can_insert() && next_free {
+                        let tag = ctx.vals[rule_instance.pos()];
+                        match engines[rule.0].claim(tag, port) {
+                            ClaimOutcome::Ready(v) => {
+                                let mut ctx = ctx;
+                                ctx.vals[i] = v as u64;
+                                if !v {
+                                    *squashes += 1;
+                                }
+                                busy = true;
+                                progress = true;
+                                advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                            }
+                            ClaimOutcome::Wait => {
+                                station.insert_at(tag, ctx, now);
+                                busy = true;
+                                progress = true;
+                            }
+                        }
+                    } else {
+                        stalled_ctx = Some(ctx);
+                    }
+                    }
+                }
+                BodyOp::Emit {
+                    label,
+                    payload,
+                    guard,
+                } => {
+                    if !guard_ok(guard, &ctx) {
+                        if next_free {
+                            let mut ctx = ctx;
+                            ctx.vals[i] = 0;
+                            busy = true;
+                            advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                        } else {
+                            stalled_ctx = Some(ctx);
+                        }
+                    } else if next_free && bus_staged.len() < bus_cap {
+                        let mut pl = [0u64; MAX_FIELDS];
+                        for (k, v) in payload.iter().enumerate() {
+                            pl[k] = ctx.vals[v.pos()];
+                        }
+                        bus_staged.push(EventMsg {
+                            label: *label,
+                            payload: pl,
+                            len: payload.len() as u8,
+                            index: ctx.index,
+                        });
+                        let mut ctx = ctx;
+                        ctx.vals[i] = 1;
+                        busy = true;
+                        progress = true;
+                        advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                    } else {
+                        stalled_ctx = Some(ctx);
+                    }
+                }
+                BodyOp::Extern { ext, args, guard } => {
+                    if !guard_ok(guard, &ctx) {
+                        if next_free {
+                            let mut ctx = ctx;
+                            ctx.vals[i] = 0;
+                            busy = true;
+                            advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
+                        } else {
+                            stalled_ctx = Some(ctx);
+                        }
+                    } else {
+                        let station = stage.station.as_mut().expect("extern has station");
+                        let unit = p.extern_unit.as_mut().expect("extern has unit");
+                        if station.can_insert() && unit.queue.can_push() {
+                            let mut a = [0u64; MAX_FIELDS];
+                            for (k, v) in args.iter().enumerate() {
+                                a[k] = ctx.vals[v.pos()];
+                            }
+                            let tag = *next_tag;
+                            *next_tag += 1;
+                            unit.queue.push(ExternReq {
+                                tag,
+                                port: stage.port.expect("extern has port"),
+                                ext: ext.0,
+                                args: a,
+                                nargs: args.len() as u8,
+                                index: ctx.index,
+                            });
+                            station.insert(tag, ctx);
+                            busy = true;
+                            progress = true;
+                        } else {
+                            stalled_ctx = Some(ctx);
+                        }
+                    }
+                }
+            }
+            *latch_cur = stalled_ctx;
+        }
+
+        // Activity accounting.
+        let waiting = p.latches[i].is_some()
+            || p.stages[i]
+                .station
+                .as_ref()
+                .is_some_and(|s| !s.is_empty());
+        let state = if busy {
+            Activity::Busy
+        } else if waiting {
+            Activity::Stall
+        } else {
+            Activity::Idle
+        };
+        p.stages[i].tracker.record(state);
+        let _ = occupied;
+    }
+
+    if let Some(log) = retire_log {
+        let delta = retired.iter().sum::<u64>() - retired_before;
+        for _ in 0..delta {
+            log.push((now, set.0));
+        }
+    }
+    // Head: pop a task into latch 0.
+    if n > 0 && p.latches[0].is_none() {
+        if let Some(token) = queues[set.0].pop() {
+            p.latches[0] = Some(Ctx::from_token(token, n));
+            progress = true;
+        }
+    }
+    progress
+}
+
+/// Moves a context to the next latch, or retires it at the pipeline tail.
+fn advance(
+    ctx: Ctx,
+    i: usize,
+    n: usize,
+    latch_next: Option<&mut Option<Ctx>>,
+    live: &mut BTreeSet<(IndexTuple, u64)>,
+    retired: &mut [u64],
+    set: TaskSetId,
+) {
+    if i + 1 == n {
+        live.remove(&(ctx.index, ctx.seq));
+        retired[set.0] += 1;
+    } else {
+        let slot = latch_next.expect("next latch exists");
+        debug_assert!(slot.is_none(), "advance into occupied latch");
+        *slot = Some(ctx);
+    }
+}

@@ -1,0 +1,98 @@
+//! # apir-fabric
+//!
+//! Cycle-level model of the accelerators the APIR framework synthesizes on
+//! FPGA (reproduction of "Aggressive Pipelining of Irregular Applications
+//! on Reconfigurable Hardware", ISCA 2017).
+//!
+//! The generalized architecture of Figure 7 is modeled structurally:
+//!
+//! * **task pipelines** — one chain of primitive-operation stages per task
+//!   set (replicated [`FabricConfig::pipelines_per_set`] times), with
+//!   out-of-order load/store units and rendezvous stations and in-order
+//!   everything else, exactly as Section 5.2 prescribes;
+//! * **multi-bank task queues** with a wavefront-style allocator
+//!   ([`queue`]);
+//! * **rule engines** — lanes, event bus, return buffer, and the
+//!   minimum-live-task broadcast that triggers `otherwise` clauses
+//!   ([`rules`]);
+//! * **a generic memory subsystem** — direct-mapped FPGA-side cache in
+//!   front of a bandwidth/latency-modeled QPI link ([`memory`]), with the
+//!   HARP numbers (64 KB, 14-cycle hit, ~200 ns miss, 7.0 GB/s) as
+//!   defaults;
+//! * **extern IP units** — problem-specific cores (LU block math, DMR
+//!   cavity re-triangulation) whose data movement is charged to the QPI
+//!   link ([`fabric`]);
+//! * **a resource model** ([`resource`]) estimating ALM/register/BRAM
+//!   usage per template on the paper's Stratix V part.
+//!
+//! The simulation is *execution-driven*: loads and stores act on a real
+//! [`apir_core::MemImage`] when they complete, so speculative tasks read
+//! stale data exactly as hardware would, and the final image is compared
+//! against the sequential interpreter in tests.
+
+pub mod fabric;
+pub mod memory;
+pub mod queue;
+pub mod resource;
+pub mod rules;
+pub mod types;
+
+pub use fabric::{Fabric, FabricError, FabricReport};
+pub use memory::MemConfig;
+pub use resource::{estimate_resources, ResourceReport, StratixV};
+
+/// Template parameters of a synthesized accelerator (the paper's MoA
+/// parameters, normally chosen by the `apir-synth` heuristic).
+#[derive(Clone, Debug)]
+pub struct FabricConfig {
+    /// FPGA clock in MHz (paper: all accelerators run at 200 MHz).
+    pub clock_mhz: u64,
+    /// Pipeline replicas instantiated per task set.
+    pub pipelines_per_set: usize,
+    /// Banks per task queue.
+    pub queue_banks: usize,
+    /// Total capacity of each task queue (entries across banks).
+    pub queue_capacity: usize,
+    /// Lanes per rule engine.
+    pub rule_lanes: usize,
+    /// Slots in each out-of-order load/store station.
+    pub lsu_window: usize,
+    /// Slots in each rendezvous reorder station.
+    pub rendezvous_window: usize,
+    /// Cycles a coordinative rendezvous may wait before the station
+    /// bounces it back as `false` (abort/retry) so the pipeline keeps
+    /// draining; the minimum live task is released by `otherwise` long
+    /// before this fires.
+    pub rendezvous_timeout: u64,
+    /// Events the bus can broadcast per cycle.
+    pub event_bus_width: usize,
+    /// Memory subsystem parameters.
+    pub mem: MemConfig,
+    /// Abort the simulation after this many cycles (runaway guard).
+    pub max_cycles: u64,
+    /// Declare deadlock after this many cycles without progress.
+    pub deadlock_cycles: u64,
+    /// Record `(cycle, task_set)` for every retirement (schedule
+    /// diagrams; costs memory on big runs).
+    pub record_retirements: bool,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            clock_mhz: 200,
+            pipelines_per_set: 2,
+            queue_banks: 4,
+            queue_capacity: 1 << 16,
+            rule_lanes: 64,
+            lsu_window: 16,
+            rendezvous_window: 16,
+            rendezvous_timeout: 4096,
+            event_bus_width: 8,
+            mem: MemConfig::default(),
+            max_cycles: 2_000_000_000,
+            deadlock_cycles: 100_000,
+            record_retirements: false,
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! The generic (problem-independent) memory subsystem.
+//!
+//! Section 5.2: "we use a generic cache design provided by HARP. In this
+//! way, the memory subsystem is kept problem-independent." The model is a
+//! direct-mapped FPGA-side cache in front of a QPI link:
+//!
+//! * cache hit: fixed pipeline latency (HARP: ~70 ns = 14 cycles at
+//!   200 MHz, per Choi et al. DAC'16);
+//! * cache miss: one cache-line transfer charged against the link's
+//!   byte-credit meter plus the miss latency (>200 ns on HARP);
+//! * writes are write-through/no-allocate, charging one word;
+//! * misses in flight are bounded by an MSHR-style limit.
+//!
+//! Loads and RMW stores act on the [`MemImage`] *at completion time*, so
+//! concurrent read-modify-writes serialize in completion order, exactly
+//! like commit units behind a memory arbiter.
+
+use crate::types::{MemReq, WriteKind};
+use apir_sim::bandwidth::BandwidthMeter;
+use apir_sim::delay::DelayLine;
+use apir_sim::fifo::Fifo;
+use apir_sim::{cycles_from_ns, Cycle};
+use apir_core::{MemAccess, MemImage};
+use std::collections::VecDeque;
+
+/// Memory subsystem parameters (defaults: the HARP platform).
+#[derive(Clone, Debug)]
+pub struct MemConfig {
+    /// FPGA-side cache size in KiB.
+    pub cache_kb: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Cache hit latency in cycles.
+    pub hit_latency: Cycle,
+    /// Additional miss latency in nanoseconds (on top of the hit path).
+    pub miss_extra_ns: f64,
+    /// QPI link bandwidth in GB/s (the Figure 10 sweep scales this).
+    pub qpi_gbps: f64,
+    /// FPGA clock in MHz (needed to convert ns and GB/s to cycles).
+    pub clock_mhz: u64,
+    /// Maximum misses in flight (MSHR count).
+    pub max_inflight_misses: usize,
+    /// Requests accepted from the request FIFO per cycle.
+    pub requests_per_cycle: usize,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            cache_kb: 64,
+            line_bytes: 64,
+            hit_latency: 14,
+            miss_extra_ns: 200.0,
+            qpi_gbps: 7.0,
+            clock_mhz: 200,
+            max_inflight_misses: 32,
+            requests_per_cycle: 4,
+        }
+    }
+}
+
+/// Statistics of the memory subsystem.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Read requests served.
+    pub reads: u64,
+    /// Write requests served.
+    pub writes: u64,
+    /// Read hits.
+    pub hits: u64,
+    /// Read misses.
+    pub misses: u64,
+    /// Bytes moved over the link.
+    pub qpi_bytes: u64,
+}
+
+struct TagArray {
+    tags: Vec<u64>, // tag + 1, 0 = invalid
+    num_lines: usize,
+}
+
+impl TagArray {
+    fn new(cache_bytes: usize, line_bytes: usize) -> Self {
+        let num_lines = (cache_bytes / line_bytes).max(1);
+        TagArray {
+            tags: vec![0; num_lines],
+            num_lines,
+        }
+    }
+
+    /// Probes (and on miss, allocates) the line containing word address
+    /// `addr_words`. Returns hit/miss.
+    fn access(&mut self, addr_words: u64, line_words: u64, allocate: bool) -> bool {
+        let line = addr_words / line_words;
+        let set = (line % self.num_lines as u64) as usize;
+        let tag = line / self.num_lines as u64 + 1;
+        if self.tags[set] == tag {
+            true
+        } else {
+            if allocate {
+                self.tags[set] = tag;
+            }
+            false
+        }
+    }
+}
+
+/// The memory subsystem component.
+pub struct MemorySubsystem {
+    cfg: MemConfig,
+    image: MemImage,
+    tags: TagArray,
+    /// Incoming requests (pushed by pipelines, staged).
+    pub requests: Fifo<MemReq>,
+    /// Hit-path pipe.
+    hit_pipe: DelayLine<MemReq>,
+    /// Miss-path pipe (entered once bandwidth + MSHR admit).
+    miss_pipe: DelayLine<MemReq>,
+    /// Write-through pipe (admitted behind the same bandwidth meter but
+    /// completing with hit latency; posted writes don't occupy MSHRs).
+    write_pipe: DelayLine<MemReq>,
+    /// Misses waiting for bandwidth/MSHR admission.
+    miss_wait: VecDeque<MemReq>,
+    qpi: BandwidthMeter,
+    miss_latency: Cycle,
+    stats: MemStats,
+    /// Flat word-address base of each region (fixed at load time).
+    bases: Vec<u64>,
+}
+
+impl MemorySubsystem {
+    /// Builds the subsystem around an initial memory image.
+    pub fn new(cfg: MemConfig, image: MemImage) -> Self {
+        let tags = TagArray::new(cfg.cache_kb * 1024, cfg.line_bytes);
+        let qpi = BandwidthMeter::from_gbps(cfg.qpi_gbps, cfg.clock_mhz)
+            .with_min_burst(2 * cfg.line_bytes as u64);
+        let miss_latency = cfg.hit_latency + cycles_from_ns(cfg.clock_mhz, cfg.miss_extra_ns);
+        let bases = image.flat_bases();
+        MemorySubsystem {
+            requests: Fifo::new(256),
+            hit_pipe: DelayLine::new(cfg.hit_latency),
+            miss_pipe: DelayLine::new(miss_latency),
+            write_pipe: DelayLine::new(cfg.hit_latency),
+            miss_wait: VecDeque::new(),
+            tags,
+            qpi,
+            image,
+            miss_latency,
+            stats: MemStats::default(),
+            bases,
+            cfg,
+        }
+    }
+
+    /// The wrapped image (for seeding checks and final readout).
+    pub fn image(&self) -> &MemImage {
+        &self.image
+    }
+
+    /// Mutable image access (extern IP units execute through this).
+    pub fn image_mut(&mut self) -> &mut MemImage {
+        &mut self.image
+    }
+
+    /// Consumes link bandwidth for an extern core's burst transfer;
+    /// returns the bytes actually granted this cycle (up to `want`).
+    pub fn grant_burst(&mut self, want: u64) -> u64 {
+        // Consume in line-size chunks to share fairly with misses.
+        let chunk = self.cfg.line_bytes as u64;
+        let mut granted = 0;
+        while granted < want {
+            let step = chunk.min(want - granted);
+            if self.qpi.try_consume(step) {
+                granted += step;
+            } else {
+                break;
+            }
+        }
+        self.stats.qpi_bytes += granted;
+        granted
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Is anything in flight?
+    pub fn is_idle(&self) -> bool {
+        self.requests.is_empty()
+            && self.hit_pipe.is_empty()
+            && self.miss_pipe.is_empty()
+            && self.write_pipe.is_empty()
+            && self.miss_wait.is_empty()
+    }
+
+    /// Advances one cycle: admits requests, serves completions into
+    /// `responses` as `(port, tag, word)` triples. The caller must route
+    /// responses and then call [`MemorySubsystem::commit`].
+    pub fn tick(&mut self, now: Cycle, responses: &mut Vec<(u32, u64, u64)>) {
+        self.qpi.tick();
+        // 1) Completions (functional effect happens here).
+        while let Some(req) = self.hit_pipe.pop_ready(now) {
+            responses.push(self.complete(req));
+        }
+        while let Some(req) = self.miss_pipe.pop_ready(now) {
+            responses.push(self.complete(req));
+        }
+        while let Some(req) = self.write_pipe.pop_ready(now) {
+            responses.push(self.complete(req));
+        }
+        // 2) Admit waiting misses (bandwidth + MSHR bound).
+        while let Some(req) = self.miss_wait.front().copied() {
+            let is_write = req.write.is_some();
+            if !is_write && self.miss_pipe.len() >= self.cfg.max_inflight_misses {
+                break;
+            }
+            let bytes = if is_write {
+                8
+            } else {
+                self.cfg.line_bytes as u64
+            };
+            if !self.qpi.try_consume(bytes) {
+                break;
+            }
+            self.stats.qpi_bytes += bytes;
+            self.miss_wait.pop_front();
+            if is_write {
+                self.write_pipe.push(now, req);
+            } else {
+                self.miss_pipe.push(now, req);
+            }
+        }
+        // 3) Accept new requests.
+        let line_words = (self.cfg.line_bytes / 8) as u64;
+        for _ in 0..self.cfg.requests_per_cycle {
+            // Leave headroom in the wait queue so admission stays bounded.
+            if self.miss_wait.len() >= 4 * self.cfg.max_inflight_misses {
+                break;
+            }
+            let Some(req) = self.requests.pop() else { break };
+            let addr_words = self.bases[req.region.0] + req.offset;
+            match req.write {
+                None => {
+                    self.stats.reads += 1;
+                    if self.tags.access(addr_words, line_words, true) {
+                        self.stats.hits += 1;
+                        self.hit_pipe.push(now, req);
+                    } else {
+                        self.stats.misses += 1;
+                        self.miss_wait.push_back(req);
+                    }
+                }
+                Some(_) => {
+                    self.stats.writes += 1;
+                    // Write-through, no-allocate: update the tag state only
+                    // on a hit (data would be updated in place).
+                    let _hit = self.tags.access(addr_words, line_words, false);
+                    // All writes traverse the link; queue behind misses for
+                    // bandwidth accounting.
+                    self.miss_wait.push_back(req);
+                }
+            }
+        }
+    }
+
+    /// End-of-cycle commit of the request FIFO.
+    pub fn commit(&mut self) {
+        self.requests.commit();
+    }
+
+    fn complete(&mut self, req: MemReq) -> (u32, u64, u64) {
+        let word = match req.write {
+            None => self.image.read(req.region, req.offset),
+            Some((kind, value)) => {
+                let old = self.image.read(req.region, req.offset);
+                match kind {
+                    WriteKind::Plain => {
+                        self.image.write(req.region, req.offset, value);
+                        1
+                    }
+                    WriteKind::Min => {
+                        if value < old {
+                            self.image.write(req.region, req.offset, value);
+                            1
+                        } else {
+                            0
+                        }
+                    }
+                    WriteKind::Cas(expected) => {
+                        if old == expected {
+                            self.image.write(req.region, req.offset, value);
+                            1
+                        } else {
+                            0
+                        }
+                    }
+                    WriteKind::Add => {
+                        let new = old.wrapping_add(value);
+                        self.image.write(req.region, req.offset, new);
+                        new
+                    }
+                }
+            }
+        };
+        (req.port, req.tag, word)
+    }
+
+    /// Miss path latency in cycles (for reports).
+    pub fn miss_latency(&self) -> Cycle {
+        self.miss_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apir_core::RegionId;
+
+    fn subsystem() -> MemorySubsystem {
+        let img = MemImage::new(&[("a".into(), 4096)]);
+        MemorySubsystem::new(MemConfig::default(), img)
+    }
+
+    fn read_req(tag: u64, off: u64) -> MemReq {
+        MemReq {
+            port: 0,
+            tag,
+            region: RegionId(0),
+            offset: off,
+            write: None,
+        }
+    }
+
+    fn run_until_responses(
+        m: &mut MemorySubsystem,
+        start: Cycle,
+        n: usize,
+        max: Cycle,
+    ) -> (Vec<(u32, u64, u64)>, Cycle) {
+        let mut out = Vec::new();
+        let mut now = start;
+        while out.len() < n && now < start + max {
+            now += 1;
+            m.tick(now, &mut out);
+            m.commit();
+        }
+        (out, now)
+    }
+
+    #[test]
+    fn miss_then_hit_latency() {
+        let mut m = subsystem();
+        m.requests.push(read_req(1, 0));
+        m.commit();
+        let (r, t1) = run_until_responses(&mut m, 0, 1, 500);
+        assert_eq!(r.len(), 1);
+        // Miss: hit latency + 200ns (40 cycles) plus admission.
+        assert!(t1 >= 54, "miss completed too fast: {t1}");
+        // Same line again: hit.
+        m.requests.push(read_req(2, 1));
+        m.commit();
+        let (r2, t2) = run_until_responses(&mut m, t1, 1, 500);
+        assert_eq!(r2.len(), 1);
+        assert!(t2 - t1 <= 14 + 3, "hit too slow: {}", t2 - t1);
+        let s = m.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.qpi_bytes, 64);
+    }
+
+    #[test]
+    fn rmw_serializes_by_completion() {
+        let mut m = subsystem();
+        // Two CAS writes to the same cell, both expecting 0.
+        let w = |tag, expected| MemReq {
+            port: 0,
+            tag,
+            region: RegionId(0),
+            offset: 7,
+            write: Some((WriteKind::Cas(expected), 99)),
+        };
+        m.requests.push(w(1, 0));
+        m.requests.push(w(2, 0));
+        m.commit();
+        let (r, _) = run_until_responses(&mut m, 0, 2, 500);
+        let won: Vec<u64> = r.iter().map(|x| x.2).collect();
+        assert_eq!(won.iter().sum::<u64>(), 1, "exactly one CAS wins: {won:?}");
+        assert_eq!(m.image().read(RegionId(0), 7), 99);
+    }
+
+    #[test]
+    fn store_min_and_add_semantics() {
+        let mut m = subsystem();
+        m.image_mut().write(RegionId(0), 3, 10);
+        let mk = |tag, kind, v| MemReq {
+            port: 0,
+            tag,
+            region: RegionId(0),
+            offset: 3,
+            write: Some((kind, v)),
+        };
+        m.requests.push(mk(1, WriteKind::Min, 12)); // loses
+        m.requests.push(mk(2, WriteKind::Min, 5)); // wins
+        m.requests.push(mk(3, WriteKind::Add, 2)); // 5 + 2 = 7
+        m.commit();
+        let (r, _) = run_until_responses(&mut m, 0, 3, 500);
+        let by_tag = |t: u64| r.iter().find(|x| x.1 == t).unwrap().2;
+        assert_eq!(by_tag(1), 0);
+        assert_eq!(by_tag(2), 1);
+        assert_eq!(by_tag(3), 7);
+        assert_eq!(m.image().read(RegionId(0), 3), 7);
+    }
+
+    #[test]
+    fn bandwidth_limits_miss_throughput() {
+        // 1 GB/s => 5 bytes/cycle => a 64-byte line every ~13 cycles.
+        let cfg = MemConfig {
+            qpi_gbps: 1.0,
+            ..MemConfig::default()
+        };
+        let img = MemImage::new(&[("a".into(), 1 << 16)]);
+        let mut m = MemorySubsystem::new(cfg, img);
+        // 32 reads to distinct lines.
+        for i in 0..32u64 {
+            m.requests.push(read_req(i, i * 8));
+        }
+        m.commit();
+        let (r, t) = run_until_responses(&mut m, 0, 32, 20_000);
+        assert_eq!(r.len(), 32);
+        // 32 lines * 64B at 5 B/cycle = ~410 cycles minimum.
+        assert!(t >= 350, "completed too fast for 1 GB/s: {t}");
+        assert_eq!(m.stats().qpi_bytes, 32 * 64);
+    }
+
+    #[test]
+    fn mshr_bounds_inflight() {
+        let cfg = MemConfig {
+            max_inflight_misses: 2,
+            qpi_gbps: 700.0, // effectively unlimited bandwidth
+            ..MemConfig::default()
+        };
+        let img = MemImage::new(&[("a".into(), 1 << 16)]);
+        let mut m = MemorySubsystem::new(cfg, img);
+        for i in 0..8u64 {
+            m.requests.push(read_req(i, i * 64));
+        }
+        m.commit();
+        // With only 2 MSHRs and ~54-cycle misses, 8 misses need >= 4 waves.
+        let (r, t) = run_until_responses(&mut m, 0, 8, 10_000);
+        assert_eq!(r.len(), 8);
+        assert!(t >= 4 * 54 - 8, "MSHR limit not enforced: {t}");
+        assert!(m.is_idle());
+    }
+}

@@ -1,0 +1,258 @@
+//! Multi-bank task queues with a wavefront-style allocator.
+//!
+//! Section 5.2: "a multi-bank queue with customizable number of
+//! input/output ports is provided. A wavefront allocator is used between
+//! input ports and pipelines to ensure load balance among banks. [...] An
+//! index indicating the well-order is assigned to each task when it is
+//! pushed." We model the allocator as rotating-priority selection over
+//! banks (what a wavefront allocator converges to under uniform load).
+
+use crate::types::TaskToken;
+use apir_core::spec::TaskSetKind;
+use apir_core::IndexTuple;
+use apir_sim::fifo::Fifo;
+
+/// One task set's multi-bank queue.
+#[derive(Clone, Debug)]
+pub struct TaskQueue {
+    kind: TaskSetKind,
+    level: usize,
+    banks: Vec<Fifo<TaskToken>>,
+    counter: u64,
+    push_rr: usize,
+    pop_rr: usize,
+    pushed_total: u64,
+    peak: usize,
+    /// Slots usable only by recirculation (`push_fixed`): tokens already
+    /// inside the pipelines must always be able to requeue, or a full
+    /// queue deadlocks against a full pipeline.
+    reserve: usize,
+    capacity: usize,
+}
+
+impl TaskQueue {
+    /// Creates a queue with `banks` banks sharing `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero or `capacity < banks`.
+    pub fn new(kind: TaskSetKind, level: usize, banks: usize, capacity: usize) -> Self {
+        assert!(banks > 0, "queue needs at least one bank");
+        assert!(capacity >= banks, "capacity below bank count");
+        let per = capacity / banks;
+        TaskQueue {
+            kind,
+            level,
+            banks: (0..banks).map(|_| Fifo::new(per)).collect(),
+            counter: 0,
+            push_rr: 0,
+            pop_rr: 0,
+            pushed_total: 0,
+            peak: 0,
+            reserve: 0,
+            capacity: per * banks,
+        }
+    }
+
+    /// Reserves `slots` (clamped to half the capacity) for recirculation
+    /// pushes; ordinary activations stall earlier.
+    pub fn set_reserve(&mut self, slots: usize) {
+        self.reserve = slots.min(self.capacity / 2);
+    }
+
+    /// Entries currently queued (visible + staged).
+    pub fn len(&self) -> usize {
+        self.banks.iter().map(Fifo::len).sum()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.banks.iter().all(Fifo::is_empty)
+    }
+
+    /// Can one more ordinary task be pushed this cycle (leaving the
+    /// recirculation reserve free)?
+    pub fn can_push(&self) -> bool {
+        self.len() + self.reserve < self.capacity && self.banks.iter().any(Fifo::can_push)
+    }
+
+    /// Can a recirculated task be pushed this cycle?
+    pub fn can_push_reserved(&self) -> bool {
+        self.banks.iter().any(Fifo::can_push)
+    }
+
+    /// Peak occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total tasks ever pushed.
+    pub fn pushed_total(&self) -> u64 {
+        self.pushed_total
+    }
+
+    /// Pushes a task created by a parent with index `parent`, assigning
+    /// the child's well-order index per the task set kind (Figure 5).
+    /// Returns the assigned token, or `None` when all banks are full.
+    pub fn push_child(
+        &mut self,
+        parent: IndexTuple,
+        seq: u64,
+        fields: [u64; apir_core::MAX_FIELDS],
+    ) -> Option<TaskToken> {
+        let ord = match self.kind {
+            TaskSetKind::ForEach => {
+                // The counter value is only consumed on success; peek it.
+                self.counter
+            }
+            TaskSetKind::ForAll => 0,
+        };
+        let token = TaskToken {
+            index: parent.child(self.level, ord),
+            seq,
+            fields,
+        };
+        if self.push_token(token) {
+            if self.kind == TaskSetKind::ForEach {
+                self.counter += 1;
+            }
+            Some(token)
+        } else {
+            None
+        }
+    }
+
+    /// Pushes a task with a pre-assigned index (requeue / recirculation).
+    /// Returns `false` when full.
+    #[must_use]
+    pub fn push_fixed(&mut self, token: TaskToken) -> bool {
+        self.push_token(token)
+    }
+
+    fn push_token(&mut self, token: TaskToken) -> bool {
+        let n = self.banks.len();
+        for k in 0..n {
+            let b = (self.push_rr + k) % n;
+            if self.banks[b].try_push(token) {
+                self.push_rr = (b + 1) % n;
+                self.pushed_total += 1;
+                self.peak = self.peak.max(self.len());
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Pops the next task, rotating across banks.
+    pub fn pop(&mut self) -> Option<TaskToken> {
+        let n = self.banks.len();
+        for k in 0..n {
+            let b = (self.pop_rr + k) % n;
+            if let Some(t) = self.banks[b].pop() {
+                self.pop_rr = (b + 1) % n;
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Minimum `(index, seq)` over every queued task (exact, scanning all
+    /// banks — for-all tokens are not FIFO-ordered by index).
+    pub fn min_queued(&self) -> Option<(IndexTuple, u64)> {
+        self.banks
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|t| (t.index, t.seq))
+            .min()
+    }
+
+    /// End-of-cycle commit of all banks.
+    pub fn commit(&mut self) {
+        for b in &mut self.banks {
+            b.commit();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::to_fields;
+
+    fn q(kind: TaskSetKind) -> TaskQueue {
+        TaskQueue::new(kind, 1, 4, 16)
+    }
+
+    #[test]
+    fn for_each_assigns_increasing_indices() {
+        let mut q = q(TaskSetKind::ForEach);
+        let a = q.push_child(IndexTuple::ROOT, 1, to_fields(&[5])).unwrap();
+        let b = q.push_child(IndexTuple::ROOT, 2, to_fields(&[6])).unwrap();
+        assert!(a.index < b.index);
+        assert_eq!(a.index.component(1), 0);
+        assert_eq!(b.index.component(1), 1);
+    }
+
+    #[test]
+    fn for_all_shares_parent_order() {
+        let mut q = TaskQueue::new(TaskSetKind::ForAll, 2, 2, 8);
+        let parent = IndexTuple::new(&[3]);
+        let a = q.push_child(parent, 1, to_fields(&[0])).unwrap();
+        let b = q.push_child(parent, 2, to_fields(&[1])).unwrap();
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.index.component(1), 3);
+        assert_eq!(a.index.component(2), 0);
+    }
+
+    #[test]
+    fn pop_round_robins_after_commit() {
+        let mut q = q(TaskSetKind::ForEach);
+        for i in 0..6 {
+            q.push_child(IndexTuple::ROOT, i, to_fields(&[i])).unwrap();
+        }
+        assert!(q.pop().is_none()); // staged only
+        q.commit();
+        let mut seen = Vec::new();
+        while let Some(t) = q.pop() {
+            seen.push(t.fields[0]);
+        }
+        assert_eq!(seen.len(), 6);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_counter_unchanged() {
+        let mut q = TaskQueue::new(TaskSetKind::ForEach, 1, 1, 2);
+        assert!(q.push_child(IndexTuple::ROOT, 1, to_fields(&[0])).is_some());
+        assert!(q.push_child(IndexTuple::ROOT, 2, to_fields(&[1])).is_some());
+        assert!(q.push_child(IndexTuple::ROOT, 3, to_fields(&[2])).is_none());
+        q.commit();
+        q.pop();
+        // Counter did not advance for the failed push.
+        let t = q.push_child(IndexTuple::ROOT, 4, to_fields(&[3])).unwrap();
+        assert_eq!(t.index.component(1), 2);
+    }
+
+    #[test]
+    fn min_queued_scans_banks() {
+        let mut q = TaskQueue::new(TaskSetKind::ForAll, 1, 2, 8);
+        let big = IndexTuple::new(&[9]);
+        let small = IndexTuple::new(&[2]);
+        assert!(q.push_fixed(TaskToken {
+            index: big,
+            seq: 1,
+            fields: to_fields(&[])
+        }));
+        assert!(q.push_fixed(TaskToken {
+            index: small,
+            seq: 2,
+            fields: to_fields(&[])
+        }));
+        q.commit();
+        assert_eq!(q.min_queued(), Some((small, 2)));
+        assert_eq!(q.peak(), 2);
+        assert_eq!(q.pushed_total(), 2);
+    }
+}

@@ -1,0 +1,453 @@
+//! Rule engines: lanes, event matching, return buffer, min-task broadcast.
+//!
+//! Figure 8 of the paper: each rule type becomes a rule engine with an
+//! allocator and a set of *lanes*. An `AllocRule` operation in a task
+//! pipeline requests a lane (stalling the parent task when none is free);
+//! events broadcast on the event bus are evaluated against every lane's
+//! ECA clauses; a firing lane "puts a return value in the return buffer
+//! and releases the lane". The rendezvous switch in the pipeline claims
+//! the value and steers the task token. The minimum live task is broadcast
+//! every cycle to trigger `otherwise` clauses (liveness).
+
+use apir_core::expr::EvalCtx;
+use apir_core::rule::{EcaClause, EventPat, RuleAction, RuleDecl, RuleMode};
+use std::sync::Arc;
+use apir_core::{IndexTuple, MAX_FIELDS};
+use crate::types::EventMsg;
+use std::collections::HashMap;
+
+/// Result of requesting a lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// A lane was granted (possibly by evicting a later holder).
+    Granted,
+    /// No lane: the requester is later than every holder. A `false`
+    /// return is buffered for its tag so the rendezvous steers it into
+    /// its retry path instead of blocking the pipeline ("negative
+    /// acknowledgement" allocator policy).
+    Nacked,
+}
+
+/// Result of a rendezvous claiming its rule instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// The value is available now (speculative verdict, or a buffered
+    /// return from an already-released lane).
+    Ready(bool),
+    /// Coordinative rule still pending: the parent waits; the value will
+    /// arrive through the engine's output port.
+    Wait,
+}
+
+/// Engine statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuleEngineStats {
+    /// Lanes granted.
+    pub allocs: u64,
+    /// Alloc attempts rejected for lack of lanes.
+    pub alloc_stalls: u64,
+    /// ECA clause firings.
+    pub clause_fires: u64,
+    /// `otherwise` firings (minimum-task exits).
+    pub otherwise_fires: u64,
+    /// Lanes evicted by earlier-ordered requesters (priority allocator).
+    pub evictions: u64,
+    /// Peak simultaneously occupied lanes.
+    pub peak_lanes: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Lane {
+    parent_index: IndexTuple,
+    parent_seq: u64,
+    params: [u64; MAX_FIELDS],
+    tag: u64,
+    /// Speculative verdict accumulated so far (starts at `otherwise`).
+    verdict: bool,
+    /// Countdown for `RuleAction::CountDown` (None if unused).
+    countdown: Option<u64>,
+    /// Set once the parent reached the rendezvous: the response port.
+    claimed_port: Option<u32>,
+}
+
+/// A rule engine serving one [`RuleDecl`].
+#[derive(Clone, Debug)]
+pub struct RuleEngine {
+    decl: RuleDecl,
+    /// Clauses shared cheaply with the per-cycle evaluation loop (the
+    /// borrow checker otherwise forces a deep clone per event).
+    clauses: Arc<Vec<EcaClause>>,
+    lanes: Vec<Option<Lane>>,
+    /// Return buffer: values from lanes released before their parent
+    /// claimed them.
+    returns: HashMap<u64, bool>,
+    /// Returns produced by evictions during `alloc` (drained by `tick`).
+    evicted_returns: Vec<(u32, u64, u64)>,
+    stats: RuleEngineStats,
+}
+
+impl RuleEngine {
+    /// Creates an engine with `lanes` lanes.
+    pub fn new(decl: RuleDecl, lanes: usize) -> Self {
+        RuleEngine {
+            clauses: Arc::new(decl.clauses.clone()),
+            decl,
+            lanes: vec![None; lanes.max(1)],
+            returns: HashMap::new(),
+            evicted_returns: Vec::new(),
+            stats: RuleEngineStats::default(),
+        }
+    }
+
+    /// The rule served.
+    pub fn decl(&self) -> &RuleDecl {
+        &self.decl
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> RuleEngineStats {
+        self.stats
+    }
+
+    /// Occupied lanes.
+    pub fn occupied(&self) -> usize {
+        self.lanes.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Allocates a lane for a rule instance, never blocking: if all lanes
+    /// are held by earlier tasks the request is *nacked* — a `false`
+    /// return is buffered so the rendezvous steers the parent into its
+    /// retry path and the pipeline keeps flowing.
+    pub fn alloc(
+        &mut self,
+        parent_index: IndexTuple,
+        parent_seq: u64,
+        params: [u64; MAX_FIELDS],
+        tag: u64,
+    ) -> AllocOutcome {
+        // A countdown initialized to zero is satisfied immediately: put
+        // the return straight into the buffer without consuming a lane.
+        let countdown = self.decl.countdown_param.map(|p| params[p as usize]);
+        if countdown == Some(0) {
+            self.returns.insert(tag, true);
+            self.stats.allocs += 1;
+            return AllocOutcome::Granted;
+        }
+        let free = self.lanes.iter().position(|l| l.is_none());
+        let slot_idx = match free {
+            Some(i) => i,
+            None => {
+                // Priority allocator: an earlier-ordered requester evicts
+                // the *latest* lane holder, which receives a conservative
+                // `false` (abort/retry). This guarantees the minimum live
+                // task always obtains a lane, preserving the liveness
+                // argument of the `otherwise` clause under finite lanes.
+                let victim = self
+                    .lanes
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, l)| {
+                        l.as_ref().map(|l| (i, (l.parent_index, l.parent_seq)))
+                    })
+                    .max_by_key(|&(_, key)| key);
+                match victim {
+                    Some((vi, vkey)) if (parent_index, parent_seq) < vkey => {
+                        self.stats.evictions += 1;
+                        let mut out = Vec::new();
+                        self.release(vi, false, &mut out);
+                        self.evicted_returns.extend(out);
+                        vi
+                    }
+                    _ => {
+                        self.stats.alloc_stalls += 1;
+                        self.returns.insert(tag, false);
+                        return AllocOutcome::Nacked;
+                    }
+                }
+            }
+        };
+        self.lanes[slot_idx] = Some(Lane {
+            parent_index,
+            parent_seq,
+            params,
+            tag,
+            verdict: self.decl.otherwise,
+            countdown,
+            claimed_port: None,
+        });
+        self.stats.allocs += 1;
+        let occ = self.occupied() as u64;
+        self.stats.peak_lanes = self.stats.peak_lanes.max(occ);
+        AllocOutcome::Granted
+    }
+
+    /// Cancels a rule instance whose parent gave up waiting (reservation
+    /// station timeout): frees the lane or discards the buffered return.
+    /// Idempotent; a no-op if the value was already delivered.
+    pub fn cancel(&mut self, tag: u64) {
+        self.returns.remove(&tag);
+        for l in &mut self.lanes {
+            if l.as_ref().is_some_and(|l| l.tag == tag) {
+                *l = None;
+            }
+        }
+    }
+
+    /// The parent task reached its rendezvous for the instance `tag`.
+    ///
+    /// `port` is where a deferred (coordinative) return must be delivered.
+    pub fn claim(&mut self, tag: u64, port: u32) -> ClaimOutcome {
+        if let Some(v) = self.returns.remove(&tag) {
+            return ClaimOutcome::Ready(v);
+        }
+        let idx = self
+            .lanes
+            .iter()
+            .position(|l| l.as_ref().is_some_and(|l| l.tag == tag));
+        let Some(idx) = idx else {
+            // Lane lost? Treat as otherwise to preserve liveness.
+            return ClaimOutcome::Ready(self.decl.otherwise);
+        };
+        match self.decl.mode {
+            RuleMode::Immediate => {
+                let lane = self.lanes[idx].take().expect("lane present");
+                ClaimOutcome::Ready(lane.verdict)
+            }
+            RuleMode::Waiting => {
+                self.lanes[idx].as_mut().expect("lane present").claimed_port = Some(port);
+                ClaimOutcome::Wait
+            }
+        }
+    }
+
+    /// One cycle: evaluates broadcast `events` against every lane, applies
+    /// the minimum-live-task broadcast, and appends deferred returns as
+    /// `(port, tag, value)` to `out`.
+    pub fn tick(
+        &mut self,
+        events: &[EventMsg],
+        global_min: Option<(IndexTuple, u64)>,
+        out: &mut Vec<(u32, u64, u64)>,
+    ) {
+        // 0) Returns from lanes evicted during alloc this cycle.
+        out.append(&mut self.evicted_returns);
+        // 1) Label-triggered clauses.
+        let clauses = Arc::clone(&self.clauses);
+        for ev in events {
+            for clause in clauses.iter() {
+                let EventPat::Label(l) = clause.event else {
+                    continue;
+                };
+                if l != ev.label {
+                    continue;
+                }
+                self.eval_clause_on_lanes(
+                    &clause.condition,
+                    clause.action,
+                    ev.index,
+                    ev.payload(),
+                    out,
+                );
+            }
+        }
+        // 2) Minimum-task broadcast.
+        let Some((min_idx, min_seq)) = global_min else {
+            return;
+        };
+        let min_lane_pos = self.lanes.iter().position(|l| {
+            l.as_ref()
+                .is_some_and(|l| l.parent_index == min_idx && l.parent_seq == min_seq)
+        });
+        if let Some(pos) = min_lane_pos {
+            let (idx, params) = {
+                let l = self.lanes[pos].as_ref().expect("lane present");
+                (l.parent_index, l.params)
+            };
+            // 2a) `ON min-waiting` clauses see the minimum lane's params.
+            for clause in clauses.iter() {
+                if clause.event != EventPat::MinWaiting {
+                    continue;
+                }
+                self.eval_clause_on_lanes(&clause.condition, clause.action, idx, &params, out);
+            }
+            // 2b) The obligatory `otherwise`: fires when the minimum task
+            // is *waiting* at its rendezvous.
+            if let Some(lane) = &self.lanes[pos] {
+                if lane.claimed_port.is_some() {
+                    self.stats.otherwise_fires += 1;
+                    let v = self.decl.otherwise;
+                    self.release(pos, v, out);
+                }
+            }
+        }
+    }
+
+    fn eval_clause_on_lanes(
+        &mut self,
+        condition: &apir_core::expr::Expr,
+        action: RuleAction,
+        event_index: IndexTuple,
+        payload: &[u64],
+        out: &mut Vec<(u32, u64, u64)>,
+    ) {
+        for li in 0..self.lanes.len() {
+            let Some(lane) = &self.lanes[li] else { continue };
+            let ctx = EvalCtx {
+                event_index,
+                event_payload: payload,
+                parent_index: lane.parent_index,
+                params: &lane.params,
+            };
+            if !condition.eval_bool(&ctx) {
+                continue;
+            }
+            self.stats.clause_fires += 1;
+            match (action, self.decl.mode) {
+                (RuleAction::Return(v), RuleMode::Immediate) => {
+                    self.lanes[li].as_mut().expect("lane present").verdict = v;
+                }
+                (RuleAction::Return(v), RuleMode::Waiting) => {
+                    self.release(li, v, out);
+                }
+                (RuleAction::CountDown, _) => {
+                    let lane = self.lanes[li].as_mut().expect("lane present");
+                    let c = lane.countdown.get_or_insert(1);
+                    *c = c.saturating_sub(1);
+                    if *c == 0 {
+                        self.release(li, true, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn release(&mut self, li: usize, value: bool, out: &mut Vec<(u32, u64, u64)>) {
+        let lane = self.lanes[li].take().expect("lane present");
+        match lane.claimed_port {
+            Some(port) => out.push((port, lane.tag, value as u64)),
+            None => {
+                self.returns.insert(lane.tag, value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apir_core::expr::dsl::*;
+    use apir_core::spec::LabelId;
+    use crate::types::to_fields;
+
+    fn msg(label: usize, payload: &[u64], index: &[u64]) -> EventMsg {
+        EventMsg {
+            label: LabelId(label),
+            payload: to_fields(payload),
+            len: payload.len() as u8,
+            index: IndexTuple::new(index),
+        }
+    }
+
+    #[test]
+    fn immediate_rule_accumulates_verdict() {
+        // SPEC-BFS-style: conflict from an earlier task flips to false.
+        let decl = RuleDecl::new("conflict", 1, true).on_label(
+            LabelId(0),
+            and(earlier(), eq(ev(0), param(0))),
+            RuleAction::Return(false),
+        );
+        let mut e = RuleEngine::new(decl, 4);
+        assert_eq!(e.alloc(IndexTuple::new(&[5]), 50, to_fields(&[100]), 1), AllocOutcome::Granted);
+        let mut out = Vec::new();
+        // Later task writes same address: ignored.
+        e.tick(&[msg(0, &[100], &[9])], None, &mut out);
+        assert_eq!(e.claim(1, 0), ClaimOutcome::Ready(true));
+        // New instance; earlier task writes same address: verdict false.
+        assert_eq!(e.alloc(IndexTuple::new(&[5]), 51, to_fields(&[100]), 2), AllocOutcome::Granted);
+        e.tick(&[msg(0, &[100], &[2])], None, &mut out);
+        assert_eq!(e.claim(2, 0), ClaimOutcome::Ready(false));
+        assert!(out.is_empty());
+        assert_eq!(e.occupied(), 0);
+    }
+
+    #[test]
+    fn waiting_rule_releases_on_clause_and_buffers() {
+        // COOR-BFS-style: release all lanes whose level equals the
+        // minimum's level.
+        let decl = RuleDecl::new_waiting("wavefront", 1, true)
+            .on_min_waiting(eq(ev(0), param(0)), RuleAction::Return(true));
+        let mut e = RuleEngine::new(decl, 4);
+        let min = IndexTuple::new(&[1]);
+        assert_eq!(e.alloc(min, 10, to_fields(&[3]), 1), AllocOutcome::Granted); // level 3 (the min task)
+        assert_eq!(e.alloc(IndexTuple::new(&[2]), 11, to_fields(&[3]), 2), AllocOutcome::Granted); // level 3
+        assert_eq!(e.alloc(IndexTuple::new(&[3]), 12, to_fields(&[4]), 3), AllocOutcome::Granted); // level 4
+        // Tag 2's parent claims first (waits).
+        assert_eq!(e.claim(2, 7), ClaimOutcome::Wait);
+        let mut out = Vec::new();
+        e.tick(&[], Some((min, 10)), &mut out);
+        // Lane 2 (claimed) got a direct return; lane 1 buffered; lane 3 waits.
+        assert_eq!(out, vec![(7, 2, 1)]);
+        assert_eq!(e.claim(1, 9), ClaimOutcome::Ready(true));
+        assert_eq!(e.occupied(), 1);
+        assert_eq!(e.claim(3, 9), ClaimOutcome::Wait);
+    }
+
+    #[test]
+    fn otherwise_fires_only_for_claimed_minimum() {
+        let decl = RuleDecl::new_waiting("serial", 0, true);
+        let mut e = RuleEngine::new(decl, 2);
+        let i1 = IndexTuple::new(&[1]);
+        let i2 = IndexTuple::new(&[2]);
+        assert_eq!(e.alloc(i1, 1, to_fields(&[]), 1), AllocOutcome::Granted);
+        assert_eq!(e.alloc(i2, 2, to_fields(&[]), 2), AllocOutcome::Granted);
+        let mut out = Vec::new();
+        // Minimum not yet at rendezvous: nothing fires.
+        e.tick(&[], Some((i1, 1)), &mut out);
+        assert!(out.is_empty());
+        // Task 2 waits; still nothing (it is not the minimum).
+        assert_eq!(e.claim(2, 4), ClaimOutcome::Wait);
+        e.tick(&[], Some((i1, 1)), &mut out);
+        assert!(out.is_empty());
+        // Minimum claims: otherwise fires for it only.
+        assert_eq!(e.claim(1, 3), ClaimOutcome::Wait);
+        e.tick(&[], Some((i1, 1)), &mut out);
+        assert_eq!(out, vec![(3, 1, 1)]);
+        assert_eq!(e.stats().otherwise_fires, 1);
+        // Now task 2 is the minimum.
+        out.clear();
+        e.tick(&[], Some((i2, 2)), &mut out);
+        assert_eq!(out, vec![(4, 2, 1)]);
+    }
+
+    #[test]
+    fn countdown_rule() {
+        let decl = RuleDecl::new_waiting("deps", 2, true)
+            .on_label(LabelId(0), eq(ev(0), param(0)), RuleAction::CountDown)
+            .with_countdown(1);
+        let mut e = RuleEngine::new(decl, 2);
+        // Two deps on key 42.
+        assert_eq!(e.alloc(IndexTuple::new(&[5]), 1, to_fields(&[42, 2]), 1), AllocOutcome::Granted);
+        // Zero deps: immediate buffered return.
+        assert_eq!(e.alloc(IndexTuple::new(&[6]), 2, to_fields(&[42, 0]), 2), AllocOutcome::Granted);
+        assert_eq!(e.claim(2, 0), ClaimOutcome::Ready(true));
+        let mut out = Vec::new();
+        e.tick(&[msg(0, &[42], &[1])], None, &mut out);
+        assert!(out.is_empty()); // 1 left
+        e.tick(&[msg(0, &[41], &[1])], None, &mut out);
+        assert!(out.is_empty()); // wrong key
+        assert_eq!(e.claim(1, 5), ClaimOutcome::Wait);
+        e.tick(&[msg(0, &[42], &[2])], None, &mut out);
+        assert_eq!(out, vec![(5, 1, 1)]);
+    }
+
+    #[test]
+    fn lane_exhaustion_stalls() {
+        let decl = RuleDecl::new("r", 0, true);
+        let mut e = RuleEngine::new(decl, 1);
+        assert_eq!(e.alloc(IndexTuple::new(&[1]), 1, to_fields(&[]), 1), AllocOutcome::Granted);
+        assert_eq!(e.alloc(IndexTuple::new(&[2]), 2, to_fields(&[]), 2), AllocOutcome::Nacked);
+        assert_eq!(e.stats().alloc_stalls, 1);
+        assert_eq!(e.claim(1, 0), ClaimOutcome::Ready(true));
+        assert_eq!(e.alloc(IndexTuple::new(&[2]), 3, to_fields(&[]), 3), AllocOutcome::Granted);
+    }
+}

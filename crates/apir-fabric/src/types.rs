@@ -1,0 +1,137 @@
+//! Shared token and message types of the fabric.
+
+use apir_core::{IndexTuple, MAX_FIELDS};
+
+/// A task token as it sits in a task queue: well-order index, unique
+/// sequence number (FIFO tie-break among for-all siblings), and data
+/// fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskToken {
+    /// Well-order index.
+    pub index: IndexTuple,
+    /// Globally unique activation sequence number.
+    pub seq: u64,
+    /// Data fields (fixed width).
+    pub fields: [u64; MAX_FIELDS],
+}
+
+/// A task context flowing through a pipeline: the token plus the SSA
+/// values computed so far (the pipeline registers carrying live values).
+#[derive(Clone, Debug)]
+pub struct Ctx {
+    /// Well-order index.
+    pub index: IndexTuple,
+    /// Activation sequence number.
+    pub seq: u64,
+    /// Data fields.
+    pub fields: [u64; MAX_FIELDS],
+    /// One slot per body op.
+    pub vals: Box<[u64]>,
+}
+
+impl Ctx {
+    /// Builds a fresh context for a popped token.
+    pub fn from_token(t: TaskToken, body_len: usize) -> Self {
+        Ctx {
+            index: t.index,
+            seq: t.seq,
+            fields: t.fields,
+            vals: vec![0u64; body_len].into_boxed_slice(),
+        }
+    }
+}
+
+/// Write behaviour at the memory commit port (resolved [`apir_core::op::StoreKind`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteKind {
+    /// Unconditional; result word 1.
+    Plain,
+    /// Store-min; result word = won flag.
+    Min,
+    /// Compare-and-swap against the operand; result word = won flag.
+    Cas(u64),
+    /// Fetch-and-add; result word = new value.
+    Add,
+}
+
+/// A memory request from a pipeline port.
+#[derive(Clone, Copy, Debug)]
+pub struct MemReq {
+    /// Response routing: which station the answer goes to.
+    pub port: u32,
+    /// Request tag matched by the issuing station.
+    pub tag: u64,
+    /// Target region.
+    pub region: apir_core::RegionId,
+    /// Word offset within the region.
+    pub offset: u64,
+    /// `None` for a read; `Some(kind, value)` for a write.
+    pub write: Option<(WriteKind, u64)>,
+}
+
+/// A broadcast event on the event bus.
+#[derive(Clone, Copy, Debug)]
+pub struct EventMsg {
+    /// Label the event was emitted under.
+    pub label: apir_core::spec::LabelId,
+    /// Payload words.
+    pub payload: [u64; MAX_FIELDS],
+    /// Number of valid payload words.
+    pub len: u8,
+    /// Index of the emitting task.
+    pub index: IndexTuple,
+}
+
+impl EventMsg {
+    /// The valid payload slice.
+    pub fn payload(&self) -> &[u64] {
+        &self.payload[..self.len as usize]
+    }
+}
+
+/// Copies a variable-length slice into a fixed field array.
+///
+/// # Panics
+///
+/// Panics if `src` exceeds [`MAX_FIELDS`].
+pub fn to_fields(src: &[u64]) -> [u64; MAX_FIELDS] {
+    assert!(src.len() <= MAX_FIELDS, "too many fields");
+    let mut f = [0u64; MAX_FIELDS];
+    f[..src.len()].copy_from_slice(src);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_from_token() {
+        let t = TaskToken {
+            index: IndexTuple::new(&[3]),
+            seq: 7,
+            fields: to_fields(&[1, 2]),
+        };
+        let c = Ctx::from_token(t, 5);
+        assert_eq!(c.vals.len(), 5);
+        assert_eq!(c.fields[1], 2);
+        assert_eq!(c.seq, 7);
+    }
+
+    #[test]
+    fn event_payload_slice() {
+        let e = EventMsg {
+            label: apir_core::spec::LabelId(0),
+            payload: to_fields(&[9, 8]),
+            len: 2,
+            index: IndexTuple::ROOT,
+        };
+        assert_eq!(e.payload(), &[9, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many fields")]
+    fn to_fields_checks_width() {
+        to_fields(&[0; 9]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # apir-runtime
+//!
+//! Pure-software execution engines for APIR specifications and the cost
+//! models used by the evaluation:
+//!
+//! * [`par`] — the "pure software runtime … to help programmers debug
+//!   applications" of Section 4.4: a deterministic round-based speculative
+//!   executor with read/write-set conflict detection and well-order
+//!   commit, emulating thread-level speculation;
+//! * [`pool`] — a small scoped thread-pool helper (`parallel_for`) the
+//!   hand-written multicore baselines are built on;
+//! * [`vcore`] — a deterministic virtual-multicore replay model: the
+//!   evaluation container has a single core, so the paper's 10-core
+//!   Xeon baseline is estimated from instrumented round/work profiles
+//!   calibrated against the measured sequential run (see DESIGN.md and
+//!   EXPERIMENTS.md for the substitution argument).
+
+pub mod par;
+pub mod pool;
+pub mod vcore;
+
+pub use par::{ParConfig, ParResult, ParRunner};
+pub use vcore::VcoreModel;

@@ -1,0 +1,111 @@
+//! A minimal scoped-thread helper for the multicore software baselines.
+//!
+//! The paper compares its accelerators against parallel software on a
+//! 10-core Xeon. The hand-written baselines in `apir-apps` are structured
+//! as rounds of independent chunks; [`parallel_for`] runs one round across
+//! `threads` OS threads using crossbeam's scoped threads.
+
+use crossbeam::thread;
+
+/// Splits `0..n` into `threads` contiguous chunks and runs `f(chunk)` on
+/// each in its own scoped thread. With `threads == 1` the call degrades to
+/// a plain loop (no spawn overhead), which is how the sequential baseline
+/// is measured.
+///
+/// # Panics
+///
+/// Propagates panics from worker closures.
+pub fn parallel_for<F>(n: usize, threads: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        f(0..n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    thread::scope(|s| {
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            s.spawn(move |_| f(lo..hi));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Runs `f(thread_id)` on `threads` scoped threads and collects results.
+pub fn parallel_map<T, F>(threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return vec![f(0)];
+    }
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                s.spawn(move |_| f(t))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("join")).collect()
+    })
+    .expect("worker thread panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn covers_all_indices_once() {
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(1000, 4, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_thread_and_empty() {
+        let sum = AtomicU64::new(0);
+        parallel_for(10, 1, |r| {
+            for i in r {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+        parallel_for(0, 8, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let sum = AtomicU64::new(0);
+        parallel_for(3, 16, |r| {
+            for i in r {
+                sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn map_collects_per_thread() {
+        let v = parallel_map(4, |t| t * 10);
+        assert_eq!(v, vec![0, 10, 20, 30]);
+    }
+}

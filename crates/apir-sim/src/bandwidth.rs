@@ -1,0 +1,142 @@
+//! Credit-based bandwidth limiting — the QPI link model.
+//!
+//! The HARP platform gives the FPGA ~7.0 GB/s of QPI bandwidth to shared
+//! memory (Section 6.3 / [Choi et al., DAC'16]). We model the link as a
+//! byte-credit bucket refilled every cycle; a transfer may start only when
+//! enough credit is available. Figure 10's bandwidth sweep multiplies the
+//! refill rate.
+
+/// A byte-credit bandwidth meter.
+///
+/// # Example
+///
+/// ```
+/// use apir_sim::bandwidth::BandwidthMeter;
+/// // 7 GB/s at 200 MHz = 35 bytes/cycle.
+/// let mut m = BandwidthMeter::from_gbps(7.0, 200);
+/// assert!((m.bytes_per_cycle() - 35.0).abs() < 1e-9);
+/// m.tick();
+/// assert!(m.try_consume(32));
+/// assert!(!m.try_consume(64)); // only 3 bytes of credit left
+/// ```
+#[derive(Clone, Debug)]
+pub struct BandwidthMeter {
+    bytes_per_cycle: f64,
+    credit: f64,
+    burst_cap: f64,
+    consumed_total: u64,
+    cycles: u64,
+}
+
+impl BandwidthMeter {
+    /// Creates a meter refilling `bytes_per_cycle` with a default burst
+    /// window of 4 cycles of credit.
+    pub fn new(bytes_per_cycle: f64) -> Self {
+        BandwidthMeter {
+            bytes_per_cycle,
+            credit: 0.0,
+            burst_cap: bytes_per_cycle * 4.0,
+            consumed_total: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Creates a meter from a link rate in GB/s and a clock in MHz.
+    pub fn from_gbps(gbps: f64, clock_mhz: u64) -> Self {
+        // GB/s / (MHz * 1e6 cycles/s) = bytes / cycle.
+        Self::new(gbps * 1.0e9 / (clock_mhz as f64 * 1.0e6))
+    }
+
+    /// Overrides the burst window so at least `bytes` of credit can
+    /// accumulate (required when single transfer units exceed a few
+    /// cycles' worth of a slow link).
+    pub fn with_min_burst(mut self, bytes: u64) -> Self {
+        self.burst_cap = self.burst_cap.max(bytes as f64);
+        self
+    }
+
+    /// The refill rate.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+
+    /// Advances one cycle, accruing credit up to the burst cap.
+    pub fn tick(&mut self) {
+        self.cycles += 1;
+        self.credit = (self.credit + self.bytes_per_cycle).min(self.burst_cap);
+    }
+
+    /// Attempts to consume `bytes` of credit.
+    pub fn try_consume(&mut self, bytes: u64) -> bool {
+        if self.credit >= bytes as f64 {
+            self.credit -= bytes as f64;
+            self.consumed_total += bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total bytes transferred so far.
+    pub fn consumed_total(&self) -> u64 {
+        self.consumed_total
+    }
+
+    /// Achieved bandwidth utilization in `[0, 1]` (bytes moved over bytes
+    /// offered).
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.consumed_total as f64 / (self.bytes_per_cycle * self.cycles as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refill_and_consume() {
+        let mut m = BandwidthMeter::new(10.0);
+        assert!(!m.try_consume(5)); // no credit before first tick
+        m.tick();
+        assert!(m.try_consume(10));
+        assert!(!m.try_consume(1));
+    }
+
+    #[test]
+    fn burst_cap_limits_accrual() {
+        let mut m = BandwidthMeter::new(10.0);
+        for _ in 0..100 {
+            m.tick();
+        }
+        // Burst cap is 4 cycles of credit.
+        assert!(m.try_consume(40));
+        assert!(!m.try_consume(1));
+    }
+
+    #[test]
+    fn sustained_rate_matches_configuration() {
+        let mut m = BandwidthMeter::new(8.0);
+        let mut moved = 0u64;
+        for _ in 0..1000 {
+            m.tick();
+            while m.try_consume(16) {
+                moved += 16;
+            }
+        }
+        let rate = moved as f64 / 1000.0;
+        assert!((rate - 8.0).abs() < 0.5, "rate {rate}");
+        assert!(m.utilization() > 0.95);
+    }
+
+    #[test]
+    fn gbps_conversion() {
+        let m = BandwidthMeter::from_gbps(7.0, 200);
+        assert!((m.bytes_per_cycle() - 35.0).abs() < 1e-9);
+        let m2 = BandwidthMeter::from_gbps(14.0, 200);
+        assert!((m2.bytes_per_cycle() - 70.0).abs() < 1e-9);
+    }
+}

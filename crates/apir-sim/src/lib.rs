@@ -1,0 +1,59 @@
+//! # apir-sim
+//!
+//! Cycle-level simulation primitives used by the fabric model of the APIR
+//! framework (reproduction of "Aggressive Pipelining of Irregular
+//! Applications on Reconfigurable Hardware", ISCA 2017).
+//!
+//! The crate deliberately contains no application or accelerator logic —
+//! only the clocked building blocks every hardware template is assembled
+//! from:
+//!
+//! * [`fifo::Fifo`] — a bounded FIFO with registered (next-cycle visible)
+//!   pushes, matching dual-port FIFO interfaces between pipeline stages;
+//! * [`delay::DelayLine`] — a fixed-latency in-order pipe (e.g. a cache hit
+//!   path);
+//! * [`delay::OutOfOrderStation`] — a tag-matched waiting station for
+//!   out-of-order completion (load/store units, rendezvous);
+//! * [`bandwidth::BandwidthMeter`] — a credit-based byte-rate limiter (the
+//!   QPI link model);
+//! * [`stats`] — activity tracking (busy/stall/idle) from which pipeline
+//!   utilization rates are computed exactly as in Figure 10 of the paper.
+
+pub mod bandwidth;
+pub mod delay;
+pub mod fifo;
+pub mod stats;
+
+/// A simulation timestamp in clock cycles.
+pub type Cycle = u64;
+
+/// Converts a frequency in MHz and a wall time in seconds to cycles.
+pub fn cycles_from_seconds(mhz: u64, seconds: f64) -> Cycle {
+    (seconds * mhz as f64 * 1.0e6) as Cycle
+}
+
+/// Converts a cycle count at `mhz` to seconds.
+pub fn seconds_from_cycles(mhz: u64, cycles: Cycle) -> f64 {
+    cycles as f64 / (mhz as f64 * 1.0e6)
+}
+
+/// Converts a latency in nanoseconds to cycles at `mhz` (rounded up, at
+/// least 1).
+pub fn cycles_from_ns(mhz: u64, ns: f64) -> Cycle {
+    ((ns * mhz as f64 / 1000.0).ceil() as Cycle).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        // 200 MHz: 1 cycle = 5 ns.
+        assert_eq!(cycles_from_ns(200, 70.0), 14);
+        assert_eq!(cycles_from_ns(200, 1.0), 1);
+        assert_eq!(cycles_from_seconds(200, 1.0), 200_000_000);
+        let s = seconds_from_cycles(200, 200_000_000);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,166 @@
+//! Activity statistics: busy/stall/idle accounting per component.
+//!
+//! Figure 10 of the paper plots the *pipeline utilization rate*: "the
+//! average number of active (neither stall nor idle) primitive operations
+//! throughout the execution over total number of primitive operations for
+//! all pipelines instantiated on FPGA". [`ActivityTracker`] records the
+//! per-cycle state of one primitive operation; [`UtilizationSummary`]
+//! aggregates trackers into that exact metric.
+
+/// Per-cycle state of one component.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Activity {
+    /// Performed useful work this cycle.
+    Busy,
+    /// Had work but could not proceed (downstream full, waiting memory...).
+    Stall,
+    /// Had no work.
+    Idle,
+}
+
+/// Accumulated activity of one component.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ActivityTracker {
+    /// Cycles spent busy.
+    pub busy: u64,
+    /// Cycles spent stalled.
+    pub stall: u64,
+    /// Cycles spent idle.
+    pub idle: u64,
+}
+
+impl ActivityTracker {
+    /// Creates a zeroed tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one cycle.
+    pub fn record(&mut self, a: Activity) {
+        match a {
+            Activity::Busy => self.busy += 1,
+            Activity::Stall => self.stall += 1,
+            Activity::Idle => self.idle += 1,
+        }
+    }
+
+    /// Total recorded cycles.
+    pub fn total(&self) -> u64 {
+        self.busy + self.stall + self.idle
+    }
+
+    /// Fraction of cycles spent busy.
+    pub fn utilization(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Aggregate over many primitive-operation trackers.
+#[derive(Clone, Debug, Default)]
+pub struct UtilizationSummary {
+    trackers: Vec<(String, ActivityTracker)>,
+}
+
+impl UtilizationSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named tracker.
+    pub fn add(&mut self, name: impl Into<String>, t: ActivityTracker) {
+        self.trackers.push((name.into(), t));
+    }
+
+    /// Number of primitive operations tracked.
+    pub fn count(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// The paper's pipeline utilization rate: average busy fraction across
+    /// all primitive operations.
+    pub fn pipeline_utilization(&self) -> f64 {
+        if self.trackers.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.trackers.iter().map(|(_, t)| t.utilization()).sum();
+        sum / self.trackers.len() as f64
+    }
+
+    /// Per-component `(name, busy, stall, idle)` rows for reports.
+    pub fn rows(&self) -> impl Iterator<Item = (&str, &ActivityTracker)> {
+        self.trackers.iter().map(|(n, t)| (n.as_str(), t))
+    }
+}
+
+/// A simple monotonically increasing event counter with a name, used for
+/// squashes, retries, cache hits etc.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_accumulates() {
+        let mut t = ActivityTracker::new();
+        t.record(Activity::Busy);
+        t.record(Activity::Busy);
+        t.record(Activity::Stall);
+        t.record(Activity::Idle);
+        assert_eq!(t.total(), 4);
+        assert!((t.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracker_utilization_is_zero() {
+        assert_eq!(ActivityTracker::new().utilization(), 0.0);
+        assert_eq!(UtilizationSummary::new().pipeline_utilization(), 0.0);
+    }
+
+    #[test]
+    fn summary_averages_components() {
+        let mut s = UtilizationSummary::new();
+        let mut a = ActivityTracker::new();
+        let mut b = ActivityTracker::new();
+        for _ in 0..10 {
+            a.record(Activity::Busy); // 100%
+            b.record(Activity::Idle); // 0%
+        }
+        s.add("a", a);
+        s.add("b", b);
+        assert!((s.pipeline_utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.rows().count(), 2);
+    }
+
+    #[test]
+    fn counter_ops() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+}

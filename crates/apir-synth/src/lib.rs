@@ -1,0 +1,19 @@
+//! # apir-synth
+//!
+//! The synthesis flow of Figure 4: **MoC + MoA = MoS + MoP**.
+//!
+//! * [`flow`] — turns a validated specification into a *synthesized
+//!   design*: lowers to the BDFG, runs the parameter heuristic ("we rely
+//!   on a heuristic approach to ensure the resultant design occupies the
+//!   FPGA resource as much as possible", Section 6.3) against the Stratix
+//!   V budget, and instantiates/runs the fabric;
+//! * [`hls`] — the contrast baseline of Sections 2.2 and 6.3/Table 1: an
+//!   analytic model of an Altera-OpenCL-style BFS accelerator (host-
+//!   orchestrated kernel iteration with barriers and full vertex scans
+//!   per level).
+
+pub mod flow;
+pub mod hls;
+
+pub use flow::{synthesize, SynthesisTarget, SynthesizedDesign};
+pub use hls::{HlsBfsModel, HlsBfsResult};

@@ -1,0 +1,24 @@
+//! # apir-workloads
+//!
+//! Data substrates and input generators for the irregular-application
+//! benchmarks of the APIR framework (ISCA'17 reproduction):
+//!
+//! * [`graph`] — compressed sparse row graphs and reference traversals;
+//! * [`gen`] — synthetic generators: road networks (the USA-road-graph
+//!   stand-in: high diameter, low degree), RMAT, and uniform random graphs;
+//! * [`dimacs`] — the DIMACS shortest-path challenge `.gr` format, so the
+//!   real USA road graph can be used when available;
+//! * [`delaunay`] — 2-D Delaunay triangulation (Bowyer–Watson) and the
+//!   mesh structure used by Delaunay mesh refinement;
+//! * [`sparse`] — block-sparse matrices with symbolic LU fill and
+//!   dependence extraction for the COOR-LU benchmark;
+//! * [`unionfind`] — disjoint sets for Kruskal's MST.
+
+pub mod delaunay;
+pub mod dimacs;
+pub mod gen;
+pub mod graph;
+pub mod sparse;
+pub mod unionfind;
+
+pub use graph::CsrGraph;

@@ -1,0 +1,59 @@
+//! Exports a benchmark's specification in two forms:
+//!
+//! * the pretty-printed task/rule pseudo-code (what the programmer wrote);
+//! * the Boolean Dataflow Graph in Graphviz DOT (what gets synthesized).
+//!
+//! Run with: `cargo run --example export_bdfg -- SPEC-BFS bdfg.dot`
+
+use apir::core::bdfg::Bdfg;
+use apir::core::pretty;
+use apir::workloads::gen;
+use std::sync::Arc;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "SPEC-BFS".to_string());
+    let out_path = args.next();
+
+    let g = Arc::new(gen::road_network(8, 8, 0.9, 4, 1));
+    let app = match name.as_str() {
+        "SPEC-BFS" => apir::apps::bfs::build(g, 0, apir::apps::bfs::BfsVariant::Spec),
+        "COOR-BFS" => apir::apps::bfs::build(g, 0, apir::apps::bfs::BfsVariant::Coor),
+        "SPEC-SSSP" => apir::apps::sssp::build(g, 0),
+        "SPEC-MST" => {
+            let edges = Arc::new(gen::edge_list_distinct_weights(32, 96, 1));
+            apir::apps::mst::build(32, edges)
+        }
+        "SPEC-DMR" => {
+            let mesh = Arc::new(apir::workloads::delaunay::Mesh::random(20, 1));
+            apir::apps::dmr::build(mesh, 21.0)
+        }
+        "COOR-LU" => apir::apps::lu::build(
+            &apir::workloads::sparse::BlockPattern::random(4, 0.5, 1),
+            4,
+            1,
+        ),
+        other => {
+            eprintln!("unknown app `{other}`");
+            std::process::exit(2);
+        }
+    };
+
+    println!("{}", pretty::render(&app.spec));
+
+    let bdfg = Bdfg::from_spec(&app.spec);
+    bdfg.validate().expect("BDFG is well-formed");
+    let sum = bdfg.summary();
+    println!(
+        "// BDFG: {} actors, {} channels, {} rule engines, {} memory ops",
+        sum.actors, sum.edges, sum.rule_engines, sum.memory_ops
+    );
+    let dot = bdfg.to_dot(&app.spec);
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, dot).expect("write DOT file");
+            println!("// DOT graph written to {p}");
+        }
+        None => println!("{dot}"),
+    }
+}

@@ -1,0 +1,55 @@
+//! Coordinative sparse blocked LU factorization (COOR-LU).
+//!
+//! The host enumerates block tasks and their runtime dependence graph
+//! (the "kinetic dependence graph"); the accelerator's commit units
+//! release successors as their dependences resolve — barrier-free
+//! dataflow over an input-dependent task graph. The result is checked
+//! element-wise against an unblocked reference factorization.
+//!
+//! Run with: `cargo run --release --example sparse_lu`
+
+use apir::apps::lu;
+use apir::fabric::{Fabric, FabricConfig};
+use apir::workloads::sparse::{lu_dependence_graph, BlockPattern};
+
+fn main() {
+    let nb = 8;
+    let bs = 8;
+    let pattern = BlockPattern::random(nb, 0.35, 17);
+    let filled = pattern.with_fill();
+    let graph = lu_dependence_graph(&filled);
+    let depths = graph.depths();
+    println!(
+        "pattern: {}x{} blocks of {}x{}, {} nonzero blocks after fill",
+        nb,
+        nb,
+        bs,
+        bs,
+        filled.nnz_blocks()
+    );
+    println!(
+        "task graph: {} tasks, {} dependence edges, critical path {} levels",
+        graph.tasks.len(),
+        graph.succ_idx.len(),
+        depths.iter().max().unwrap() + 1
+    );
+
+    let app = lu::build(&pattern, bs, 17);
+    let report = Fabric::new(&app.spec, &app.input, FabricConfig::default())
+        .run()
+        .expect("factorization runs");
+    (app.check)(&report.mem_image).expect("LU matches the reference");
+
+    println!(
+        "accelerator: {} cycles ({:.2} ms at 200 MHz), {} block kernels executed",
+        report.cycles,
+        report.seconds * 1e3,
+        report.extern_calls
+    );
+    println!(
+        "  QPI traffic: {} KiB   pipeline utilization: {:.1}%",
+        report.mem.qpi_bytes / 1024,
+        report.utilization * 100.0
+    );
+    println!("factorization verified against the unblocked reference.");
+}

@@ -1,0 +1,91 @@
+//! Configuration-space robustness: the accelerators must stay *correct*
+//! under arbitrary template parameters — performance is the only thing
+//! parameters may change. These tests sweep the corners of the MoA
+//! parameter space that the synthesis heuristic might visit.
+
+use apir::apps::{bfs, sssp};
+use apir::fabric::{FabricConfig, Fabric};
+use apir::workloads::gen;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn run_bfs(cfg: FabricConfig, variant: bfs::BfsVariant, seed: u64) -> Result<(), String> {
+    let g = Arc::new(gen::road_network(7, 7, 0.88, 4, seed));
+    let app = bfs::build(g, 0, variant);
+    let report = Fabric::new(&app.spec, &app.input, cfg)
+        .run()
+        .map_err(|e| e.to_string())?;
+    (app.check)(&report.mem_image)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// SPEC-BFS is correct for any sampled template-parameter corner.
+    #[test]
+    fn spec_bfs_correct_across_config_space(
+        pipes in 1usize..5,
+        lanes in 1usize..32,
+        lsu in 1usize..16,
+        banks in 1usize..5,
+        bus in 1usize..6,
+        timeout in 64u64..2048,
+        seed in 0u64..50,
+    ) {
+        let cfg = FabricConfig {
+            pipelines_per_set: pipes,
+            rule_lanes: lanes,
+            lsu_window: lsu,
+            rendezvous_window: lsu.max(2),
+            queue_banks: banks,
+            event_bus_width: bus,
+            rendezvous_timeout: timeout,
+            queue_capacity: 4096,
+            ..FabricConfig::default()
+        };
+        prop_assert!(run_bfs(cfg, bfs::BfsVariant::Spec, seed).is_ok());
+    }
+
+    /// COOR-BFS (waiting rule, wavefront release) likewise.
+    #[test]
+    fn coor_bfs_correct_across_config_space(
+        pipes in 1usize..4,
+        lanes in 1usize..16,
+        timeout in 64u64..1024,
+        seed in 0u64..50,
+    ) {
+        let cfg = FabricConfig {
+            pipelines_per_set: pipes,
+            rule_lanes: lanes,
+            rendezvous_timeout: timeout,
+            queue_capacity: 4096,
+            ..FabricConfig::default()
+        };
+        prop_assert!(run_bfs(cfg, bfs::BfsVariant::Coor, seed).is_ok());
+    }
+
+    /// SSSP under random memory-system parameters (bandwidth, latency,
+    /// cache size, MSHRs) — timing model changes must never change the
+    /// computed distances.
+    #[test]
+    fn sssp_correct_across_memory_space(
+        gbps in 1u32..30,
+        cache_kb in 1usize..64,
+        mshr in 1usize..64,
+        hit_lat in 1u64..30,
+        seed in 0u64..50,
+    ) {
+        let mut cfg = FabricConfig::default();
+        cfg.mem.qpi_gbps = gbps as f64;
+        cfg.mem.cache_kb = cache_kb;
+        cfg.mem.max_inflight_misses = mshr;
+        cfg.mem.hit_latency = hit_lat;
+        let g = Arc::new(gen::road_network(6, 6, 0.9, 8, seed));
+        let app = sssp::build(g, 0);
+        let report = Fabric::new(&app.spec, &app.input, cfg)
+            .run()
+            .map_err(|e| e.to_string());
+        prop_assert!(report.is_ok(), "{report:?}");
+        prop_assert!((app.check)(&report.unwrap().mem_image).is_ok());
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) on core invariants.
+
+use apir::core::index::IndexTuple;
+use apir::core::interp::SeqInterp;
+use apir::core::op::AluOp;
+use apir::core::spec::{Spec, TaskSetKind};
+use apir::core::{MemAccess, ProgramInput};
+use apir::fabric::{Fabric, FabricConfig};
+use apir::runtime::{ParConfig, ParRunner};
+use apir::sim::bandwidth::BandwidthMeter;
+use apir::sim::fifo::Fifo;
+use apir::workloads::gen;
+use apir::workloads::unionfind::{FlatUnionFind, UnionFind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The well-order is total and consistent with lexicographic tuples.
+    #[test]
+    fn index_order_is_lexicographic(a in proptest::collection::vec(0u64..100, 0..4),
+                                    b in proptest::collection::vec(0u64..100, 0..4)) {
+        let ia = IndexTuple::new(&a);
+        let ib = IndexTuple::new(&b);
+        // Pad to MAX_DEPTH manually and compare.
+        let pad = |v: &[u64]| {
+            let mut p = [0u64; 4];
+            p[..v.len()].copy_from_slice(v);
+            p
+        };
+        prop_assert_eq!(ia.cmp(&ib), pad(&a).cmp(&pad(&b)));
+    }
+
+    /// Children always order at-or-after their parent.
+    #[test]
+    fn children_never_precede_parent(parent in proptest::collection::vec(0u64..50, 1..3),
+                                     level_off in 0usize..2, ord in 0u64..50) {
+        let p = IndexTuple::new(&parent);
+        let level = parent.len() + level_off;
+        if level >= 1 && level <= 4 {
+            let c = p.child(level, ord);
+            prop_assert!(p <= c || level <= parent.len(),
+                "parent {p:?} child {c:?}");
+        }
+    }
+
+    /// FIFO preserves order and never loses or duplicates elements.
+    #[test]
+    fn fifo_preserves_order(ops in proptest::collection::vec(0u32..3, 1..200)) {
+        let mut f: Fifo<u64> = Fifo::new(16);
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        let mut staged: std::collections::VecDeque<u64> = Default::default();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    if f.try_push(next) {
+                        staged.push_back(next);
+                    }
+                    next += 1;
+                }
+                1 => {
+                    let got = f.pop();
+                    prop_assert_eq!(got, model.pop_front());
+                }
+                _ => {
+                    f.commit();
+                    model.append(&mut staged);
+                }
+            }
+        }
+    }
+
+    /// The bandwidth meter never exceeds its configured rate over time.
+    #[test]
+    fn bandwidth_never_exceeds_rate(rate in 1.0f64..64.0, req in 1u64..128) {
+        let mut m = BandwidthMeter::new(rate);
+        let mut moved = 0u64;
+        let cycles = 500u64;
+        for _ in 0..cycles {
+            m.tick();
+            while m.try_consume(req) {
+                moved += req;
+            }
+        }
+        // Allow the burst window on top of the sustained rate.
+        prop_assert!(moved as f64 <= rate * cycles as f64 + rate * 4.0 + req as f64);
+    }
+
+    /// Flat union-find partitions match the classic structure under any
+    /// union sequence.
+    #[test]
+    fn union_find_equivalence(edges in proptest::collection::vec((0u32..32, 0u32..32), 0..64)) {
+        let mut classic = UnionFind::new(32);
+        let mut arr = vec![0u64; 32];
+        FlatUnionFind::init(&mut arr);
+        let mut flat = FlatUnionFind::new(&mut arr);
+        for (a, b) in edges {
+            prop_assert_eq!(classic.union(a, b), flat.union(a as u64, b as u64));
+        }
+        for i in 0..32u32 {
+            for j in (i + 1)..32u32 {
+                prop_assert_eq!(classic.same(i, j), flat.find(i as u64) == flat.find(j as u64));
+            }
+        }
+    }
+
+    /// The round-based software runtime is sequentially consistent for an
+    /// arbitrary mix of read-modify-write tasks.
+    #[test]
+    fn software_runtime_matches_interpreter(cells in proptest::collection::vec(0u64..6, 1..40),
+                                            width in 1usize..16) {
+        let mut s = Spec::new("prop");
+        let r = s.region("cells", 8);
+        let ts = s.task_set("t", TaskSetKind::ForEach, 1, &["cell"]);
+        let mut b = s.body(ts);
+        let cell = b.field(0);
+        let old = b.load(r, cell);
+        let three = b.konst(3);
+        let new = b.alu(AluOp::Mul, old, three);
+        let one = b.konst(1);
+        let new1 = b.alu(AluOp::Add, new, one);
+        b.store_plain(r, cell, new1);
+        b.finish();
+        let s = s.build().unwrap();
+        let mut input = ProgramInput::new(&s);
+        for c in &cells {
+            input.seed(&s, ts, &[*c]);
+        }
+        let seq = SeqInterp::run(&s, &input).unwrap();
+        let par = ParRunner::run(&s, &input, ParConfig { width, max_steps: 100_000 }).unwrap();
+        prop_assert!(par.mem.diff(&seq.mem, 3).is_empty());
+    }
+}
+
+proptest! {
+    // Fabric runs are expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// SPEC-BFS levels are correct on random road networks for any seed
+    /// and root.
+    #[test]
+    fn fabric_bfs_correct_on_random_inputs(seed in 0u64..1000, root in 0u32..64) {
+        let g = std::sync::Arc::new(gen::road_network(8, 8, 0.85, 4, seed));
+        let app = apir::apps::bfs::build(g, root, apir::apps::bfs::BfsVariant::Spec);
+        let fab = Fabric::new(&app.spec, &app.input, FabricConfig::default()).run().unwrap();
+        prop_assert!((app.check)(&fab.mem_image).is_ok());
+    }
+
+    /// Commutative fetch-and-add workloads give identical images on the
+    /// fabric regardless of configuration.
+    #[test]
+    fn fabric_faa_deterministic(npipes in 1usize..4, banks in 1usize..4) {
+        let mut s = Spec::new("faa");
+        let r = s.region("acc", 16);
+        let ts = s.task_set("t", TaskSetKind::ForAll, 1, &["i"]);
+        let mut b = s.body(ts);
+        let i = b.field(0);
+        let one = b.konst(1);
+        b.store(r, i, one, apir::core::op::StoreKind::Add, None);
+        b.finish();
+        let s = s.build().unwrap();
+        let mut input = ProgramInput::new(&s);
+        for k in 0..64u64 {
+            input.seed(&s, ts, &[k % 16]);
+        }
+        let cfg = FabricConfig {
+            pipelines_per_set: npipes,
+            queue_banks: banks,
+            ..FabricConfig::default()
+        };
+        let fab = Fabric::new(&s, &input, cfg).run().unwrap();
+        for c in 0..16u64 {
+            prop_assert_eq!(fab.mem_image.read(apir::core::spec::RegionId(0), c), 4);
+        }
+    }
+}
