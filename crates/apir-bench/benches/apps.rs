@@ -1,14 +1,16 @@
-//! Criterion benchmarks of the six applications: one accelerator run and
+//! Wall-clock benchmarks of the six applications: one accelerator run and
 //! one sequential-software run per benchmark (the raw material of
-//! Figure 9 / Table 1 at small scale).
+//! Figure 9 / Table 1 at small scale). Scenario names are unchanged from
+//! the criterion era (`fabric/<APP>`, `software_seq/<APP>`) so output
+//! stays comparable with older BENCH logs.
 
 use apir_bench::scale::{build_app, APP_NAMES};
 use apir_bench::Scale;
 use apir_fabric::{Fabric, FabricConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use apir_util::bench::Harness;
 use std::hint::black_box;
 
-fn bench_accelerators(c: &mut Criterion) {
+fn bench_accelerators(c: &mut Harness) {
     let mut g = c.benchmark_group("fabric");
     for name in APP_NAMES {
         let app = build_app(name, Scale::Small);
@@ -24,7 +26,7 @@ fn bench_accelerators(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_software(c: &mut Criterion) {
+fn bench_software(c: &mut Harness) {
     let mut g = c.benchmark_group("software_seq");
     for name in APP_NAMES {
         let app = build_app(name, Scale::Small);
@@ -33,13 +35,7 @@ fn bench_software(c: &mut Criterion) {
     g.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10)
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
+apir_util::bench_main! {
+    config = Harness::new().sample_size(10);
     targets = bench_accelerators, bench_software
 }
-criterion_main!(benches);

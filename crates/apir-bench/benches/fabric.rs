@@ -1,16 +1,17 @@
-//! Criterion microbenchmarks of the fabric templates: task queue,
-//! memory subsystem, rule engine, and a whole small pipeline.
+//! Wall-clock microbenchmarks of the fabric templates: task queue,
+//! memory subsystem, rule engine, and a whole small pipeline. Scenario
+//! names are unchanged from the criterion era so output stays comparable.
 
 use apir_core::rule::RuleDecl;
 use apir_core::{IndexTuple, MemImage};
 use apir_fabric::memory::{MemConfig, MemorySubsystem};
 use apir_fabric::queue::TaskQueue;
 use apir_fabric::rules::RuleEngine;
-use apir_fabric::types::{to_fields, MemReq, TaskToken};
-use criterion::{criterion_group, criterion_main, Criterion};
+use apir_fabric::types::{to_fields, MemReq};
+use apir_util::bench::Harness;
 use std::hint::black_box;
 
-fn bench_queue(c: &mut Criterion) {
+fn bench_queue(c: &mut Harness) {
     c.bench_function("queue_push_pop_1k", |b| {
         b.iter(|| {
             let mut q = TaskQueue::new(apir_core::TaskSetKind::ForEach, 1, 4, 4096);
@@ -27,7 +28,7 @@ fn bench_queue(c: &mut Criterion) {
     });
 }
 
-fn bench_memory(c: &mut Criterion) {
+fn bench_memory(c: &mut Harness) {
     c.bench_function("memory_1k_reads", |b| {
         b.iter(|| {
             let img = MemImage::new(&[("a".into(), 1 << 16)]);
@@ -58,7 +59,7 @@ fn bench_memory(c: &mut Criterion) {
     });
 }
 
-fn bench_rule_engine(c: &mut Criterion) {
+fn bench_rule_engine(c: &mut Harness) {
     use apir_core::expr::dsl::{eq, ev, param};
     c.bench_function("rule_engine_1k_events", |b| {
         b.iter(|| {
@@ -86,7 +87,7 @@ fn bench_rule_engine(c: &mut Criterion) {
     });
 }
 
-fn bench_small_fabric(c: &mut Criterion) {
+fn bench_small_fabric(c: &mut Harness) {
     use apir_core::op::AluOp;
     use apir_core::spec::{Spec, TaskSetKind};
     use apir_fabric::{Fabric, FabricConfig};
@@ -115,13 +116,7 @@ fn bench_small_fabric(c: &mut Criterion) {
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10)
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
+apir_util::bench_main! {
+    config = Harness::new().sample_size(10);
     targets = bench_queue, bench_memory, bench_rule_engine, bench_small_fabric
 }
-criterion_main!(benches);

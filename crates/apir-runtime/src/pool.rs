@@ -3,9 +3,11 @@
 //! The paper compares its accelerators against parallel software on a
 //! 10-core Xeon. The hand-written baselines in `apir-apps` are structured
 //! as rounds of independent chunks; [`parallel_for`] runs one round across
-//! `threads` OS threads using crossbeam's scoped threads.
+//! `threads` OS threads using `std::thread::scope` (no external crates —
+//! scoped spawns can borrow from the caller's stack, and the scope joins
+//! every worker before returning).
 
-use crossbeam::thread;
+use std::thread;
 
 /// Splits `0..n` into `threads` contiguous chunks and runs `f(chunk)` on
 /// each in its own scoped thread. With `threads == 1` the call degrades to
@@ -14,7 +16,8 @@ use crossbeam::thread;
 ///
 /// # Panics
 ///
-/// Propagates panics from worker closures.
+/// Propagates panics from worker closures (the scope re-raises after all
+/// workers have been joined, so no chunk is silently lost).
 pub fn parallel_for<F>(n: usize, threads: usize, f: F)
 where
     F: Fn(std::ops::Range<usize>) + Sync,
@@ -36,13 +39,17 @@ where
                 break;
             }
             let f = &f;
-            s.spawn(move |_| f(lo..hi));
+            s.spawn(move || f(lo..hi));
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
-/// Runs `f(thread_id)` on `threads` scoped threads and collects results.
+/// Runs `f(thread_id)` on `threads` scoped threads and collects results
+/// in thread-id order.
+///
+/// # Panics
+///
+/// Propagates the first worker panic (with its original payload).
 pub fn parallel_map<T, F>(threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -56,12 +63,17 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let f = &f;
-                s.spawn(move |_| f(t))
+                s.spawn(move || f(t))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("join")).collect()
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     })
-    .expect("worker thread panicked")
 }
 
 #[cfg(test)]
@@ -107,5 +119,36 @@ mod tests {
     fn map_collects_per_thread() {
         let v = parallel_map(4, |t| t * 10);
         assert_eq!(v, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn for_propagates_worker_panic_after_joining_all() {
+        let done = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_for(8, 4, |r| {
+                if r.contains(&0) {
+                    panic!("worker exploded");
+                }
+                done.fetch_add(r.len() as u64, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err());
+        // The scope joined the non-panicking workers before re-raising.
+        assert_eq!(done.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn map_propagates_worker_panic_with_payload() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(3, |t| {
+                if t == 1 {
+                    panic!("thread 1 exploded");
+                }
+                t
+            })
+        });
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "thread 1 exploded");
     }
 }

@@ -1,0 +1,187 @@
+//! A tiny wall-clock benchmark harness (criterion replacement).
+//!
+//! Keeps the criterion *surface* the two `apir-bench` benches used —
+//! groups, `bench_function`, `b.iter(..)`, a configurable sample count —
+//! so scenario names in BENCH output stay comparable across the
+//! criterion-era `results_*` files, while depending only on `std::time`.
+//!
+//! Each `bench_function` runs one warm-up iteration and then `samples`
+//! timed iterations, printing the median, minimum, and mean:
+//!
+//! ```text
+//! fabric/SPEC-BFS                            median 1.234ms  min 1.180ms  mean 1.301ms  (10 samples)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness; construct with [`Harness::new`] in the
+/// [`bench_main!`](crate::bench_main) config expression.
+pub struct Harness {
+    samples: u32,
+}
+
+impl Harness {
+    /// A harness with the default sample count (20).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Harness { samples: 20 }
+    }
+
+    /// Sets how many timed iterations each benchmark records.
+    pub fn sample_size(mut self, samples: u32) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Opens a named group; benchmark names are printed as
+    /// `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> Group {
+        Group {
+            prefix: name.to_string(),
+            samples: self.samples,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.samples, f);
+    }
+}
+
+/// A named benchmark group.
+pub struct Group {
+    prefix: String,
+    samples: u32,
+}
+
+impl Group {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.prefix, name), self.samples, f);
+    }
+
+    /// Closes the group (kept for criterion API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing driver passed to each benchmark closure.
+pub struct Bencher {
+    samples: u32,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then `samples` measured calls.
+    pub fn iter<T, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> T,
+    {
+        std::hint::black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(name: &str, samples: u32, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples,
+        durations: Vec::with_capacity(samples as usize),
+    };
+    f(&mut b);
+    if b.durations.is_empty() {
+        println!("{name:<42} (no measurements — closure never called iter)");
+        return;
+    }
+    let mut sorted = b.durations.clone();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    println!(
+        "{name:<42} median {:>9}  min {:>9}  mean {:>9}  ({} samples)",
+        fmt_duration(median),
+        fmt_duration(min),
+        fmt_duration(mean),
+        sorted.len(),
+    );
+}
+
+/// Formats a duration with engineering units (ns/µs/ms/s).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Generates `fn main()` for a `harness = false` bench target:
+///
+/// ```ignore
+/// apir_util::bench_main! {
+///     config = Harness::new().sample_size(10);
+///     targets = bench_queue, bench_memory
+/// }
+/// ```
+#[macro_export]
+macro_rules! bench_main {
+    (config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn main() {
+            let mut harness: $crate::bench::Harness = $config;
+            $( $target(&mut harness); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut hits = 0u64;
+        let mut b = Bencher {
+            samples: 7,
+            durations: Vec::new(),
+        };
+        b.iter(|| hits += 1);
+        assert_eq!(hits, 8); // 1 warm-up + 7 timed
+        assert_eq!(b.durations.len(), 7);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_run() {
+        let mut h = Harness::new().sample_size(2);
+        let mut g = h.benchmark_group("grp");
+        let mut ran = false;
+        g.bench_function("inner", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00s");
+    }
+}

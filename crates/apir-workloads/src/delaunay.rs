@@ -12,8 +12,7 @@
 //! domain is exempted rather than split against a boundary segment (see
 //! DESIGN.md).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use apir_util::rng::SmallRng;
 
 /// A 2-D point.
 #[derive(Clone, Copy, Debug, PartialEq)]

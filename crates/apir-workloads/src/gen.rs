@@ -9,8 +9,7 @@
 //! scale-free and unstructured regimes for additional experiments.
 
 use crate::graph::CsrGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use apir_util::rng::SmallRng;
 
 /// Generates an undirected road-network-like graph on a `w × h` grid.
 ///
@@ -58,7 +57,7 @@ pub fn rmat(scale: u32, edge_factor: usize, max_w: u32, seed: u64) -> CsrGraph {
     for _ in 0..m {
         let (mut u, mut v) = (0usize, 0usize);
         for _ in 0..scale {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             let (du, dv) = if r < a {
                 (0, 0)
             } else if r < a + b {
@@ -105,15 +104,12 @@ pub fn edge_list_distinct_weights(n: usize, m: usize, seed: u64) -> Vec<(u32, u3
         if u != v {
             // Strictly increasing base + random stride keeps weights
             // distinct but unordered relative to endpoints.
-            w += rng.gen_range(1..16);
+            w += rng.gen_range(1u64..16);
             edges.push((u, v, w));
         }
     }
     // Shuffle so weight order is not generation order.
-    for i in (1..edges.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        edges.swap(i, j);
-    }
+    rng.shuffle(&mut edges);
     edges
 }
 

@@ -11,8 +11,7 @@
 //! generation (so no pivoting is needed), a dense reference factorization,
 //! and the per-task dependence counts the coordinative rules consume.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use apir_util::rng::SmallRng;
 use std::collections::BTreeSet;
 
 /// A block sparsity pattern over an `nb × nb` grid of `bs × bs` blocks.

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Hermetic verification: the workspace must build and test fully offline
+# with zero external crates. Run from anywhere; exits non-zero on the
+# first regression (including any external dependency creeping back into
+# a Cargo.toml, which would break environments without registry access).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --workspace --offline"
+cargo test -q --workspace --offline
+
+echo "==> asserting the dependency graph is apir-only"
+external=$(cargo tree --offline --workspace --edges normal,build,dev --prefix none \
+  | sed 's/ (\*)$//' | awk 'NF {print $1}' | sort -u | grep -v '^apir' || true)
+if [ -n "$external" ]; then
+  echo "ERROR: external crates crept into the dependency graph:" >&2
+  echo "$external" >&2
+  exit 1
+fi
+
+echo "verify OK: offline release build + workspace tests passed; dependency graph is apir-only"

@@ -5,4 +5,5 @@ pub use apir_fabric as fabric;
 pub use apir_runtime as runtime;
 pub use apir_sim as sim;
 pub use apir_synth as synth;
+pub use apir_util as util;
 pub use apir_workloads as workloads;

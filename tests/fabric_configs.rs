@@ -4,9 +4,9 @@
 //! parameter space that the synthesis heuristic might visit.
 
 use apir::apps::{bfs, sssp};
-use apir::fabric::{FabricConfig, Fabric};
+use apir::fabric::{Fabric, FabricConfig};
 use apir::workloads::gen;
-use proptest::prelude::*;
+use apir_util::props;
 use std::sync::Arc;
 
 fn run_bfs(cfg: FabricConfig, variant: bfs::BfsVariant, seed: u64) -> Result<(), String> {
@@ -18,20 +18,18 @@ fn run_bfs(cfg: FabricConfig, variant: bfs::BfsVariant, seed: u64) -> Result<(),
     (app.check)(&report.mem_image)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+props! {
+    cases = 12;
 
     /// SPEC-BFS is correct for any sampled template-parameter corner.
-    #[test]
-    fn spec_bfs_correct_across_config_space(
-        pipes in 1usize..5,
-        lanes in 1usize..32,
-        lsu in 1usize..16,
-        banks in 1usize..5,
-        bus in 1usize..6,
-        timeout in 64u64..2048,
-        seed in 0u64..50,
-    ) {
+    fn spec_bfs_correct_across_config_space(g) {
+        let pipes = g.gen_range(1usize..5);
+        let lanes = g.gen_range(1usize..32);
+        let lsu = g.gen_range(1usize..16);
+        let banks = g.gen_range(1usize..5);
+        let bus = g.gen_range(1usize..6);
+        let timeout = g.gen_range(64u64..2048);
+        let seed = g.gen_range(0u64..50);
         let cfg = FabricConfig {
             pipelines_per_set: pipes,
             rule_lanes: lanes,
@@ -43,17 +41,15 @@ proptest! {
             queue_capacity: 4096,
             ..FabricConfig::default()
         };
-        prop_assert!(run_bfs(cfg, bfs::BfsVariant::Spec, seed).is_ok());
+        assert!(run_bfs(cfg, bfs::BfsVariant::Spec, seed).is_ok());
     }
 
     /// COOR-BFS (waiting rule, wavefront release) likewise.
-    #[test]
-    fn coor_bfs_correct_across_config_space(
-        pipes in 1usize..4,
-        lanes in 1usize..16,
-        timeout in 64u64..1024,
-        seed in 0u64..50,
-    ) {
+    fn coor_bfs_correct_across_config_space(g) {
+        let pipes = g.gen_range(1usize..4);
+        let lanes = g.gen_range(1usize..16);
+        let timeout = g.gen_range(64u64..1024);
+        let seed = g.gen_range(0u64..50);
         let cfg = FabricConfig {
             pipelines_per_set: pipes,
             rule_lanes: lanes,
@@ -61,31 +57,29 @@ proptest! {
             queue_capacity: 4096,
             ..FabricConfig::default()
         };
-        prop_assert!(run_bfs(cfg, bfs::BfsVariant::Coor, seed).is_ok());
+        assert!(run_bfs(cfg, bfs::BfsVariant::Coor, seed).is_ok());
     }
 
     /// SSSP under random memory-system parameters (bandwidth, latency,
     /// cache size, MSHRs) — timing model changes must never change the
     /// computed distances.
-    #[test]
-    fn sssp_correct_across_memory_space(
-        gbps in 1u32..30,
-        cache_kb in 1usize..64,
-        mshr in 1usize..64,
-        hit_lat in 1u64..30,
-        seed in 0u64..50,
-    ) {
+    fn sssp_correct_across_memory_space(g) {
+        let gbps = g.gen_range(1u32..30);
+        let cache_kb = g.gen_range(1usize..64);
+        let mshr = g.gen_range(1usize..64);
+        let hit_lat = g.gen_range(1u64..30);
+        let seed = g.gen_range(0u64..50);
         let mut cfg = FabricConfig::default();
         cfg.mem.qpi_gbps = gbps as f64;
         cfg.mem.cache_kb = cache_kb;
         cfg.mem.max_inflight_misses = mshr;
         cfg.mem.hit_latency = hit_lat;
-        let g = Arc::new(gen::road_network(6, 6, 0.9, 8, seed));
-        let app = sssp::build(g, 0);
+        let graph = Arc::new(gen::road_network(6, 6, 0.9, 8, seed));
+        let app = sssp::build(graph, 0);
         let report = Fabric::new(&app.spec, &app.input, cfg)
             .run()
             .map_err(|e| e.to_string());
-        prop_assert!(report.is_ok(), "{report:?}");
-        prop_assert!((app.check)(&report.unwrap().mem_image).is_ok());
+        assert!(report.is_ok(), "{report:?}");
+        assert!((app.check)(&report.unwrap().mem_image).is_ok());
     }
 }

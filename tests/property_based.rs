@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) on core invariants.
+//! Property-based tests (apir-util's seeded harness) on core invariants.
 
 use apir::core::index::IndexTuple;
 use apir::core::interp::SeqInterp;
@@ -11,15 +11,15 @@ use apir::sim::bandwidth::BandwidthMeter;
 use apir::sim::fifo::Fifo;
 use apir::workloads::gen;
 use apir::workloads::unionfind::{FlatUnionFind, UnionFind};
-use proptest::prelude::*;
+use apir_util::props;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    cases = 64;
 
     /// The well-order is total and consistent with lexicographic tuples.
-    #[test]
-    fn index_order_is_lexicographic(a in proptest::collection::vec(0u64..100, 0..4),
-                                    b in proptest::collection::vec(0u64..100, 0..4)) {
+    fn index_order_is_lexicographic(g) {
+        let a = g.vec(0usize..4, |g| g.gen_range(0u64..100));
+        let b = g.vec(0usize..4, |g| g.gen_range(0u64..100));
         let ia = IndexTuple::new(&a);
         let ib = IndexTuple::new(&b);
         // Pad to MAX_DEPTH manually and compare.
@@ -28,25 +28,26 @@ proptest! {
             p[..v.len()].copy_from_slice(v);
             p
         };
-        prop_assert_eq!(ia.cmp(&ib), pad(&a).cmp(&pad(&b)));
+        assert_eq!(ia.cmp(&ib), pad(&a).cmp(&pad(&b)));
     }
 
     /// Children always order at-or-after their parent.
-    #[test]
-    fn children_never_precede_parent(parent in proptest::collection::vec(0u64..50, 1..3),
-                                     level_off in 0usize..2, ord in 0u64..50) {
+    fn children_never_precede_parent(g) {
+        let parent = g.vec(1usize..3, |g| g.gen_range(0u64..50));
+        let level_off = g.gen_range(0usize..2);
+        let ord = g.gen_range(0u64..50);
         let p = IndexTuple::new(&parent);
         let level = parent.len() + level_off;
         if level >= 1 && level <= 4 {
             let c = p.child(level, ord);
-            prop_assert!(p <= c || level <= parent.len(),
+            assert!(p <= c || level <= parent.len(),
                 "parent {p:?} child {c:?}");
         }
     }
 
     /// FIFO preserves order and never loses or duplicates elements.
-    #[test]
-    fn fifo_preserves_order(ops in proptest::collection::vec(0u32..3, 1..200)) {
+    fn fifo_preserves_order(g) {
+        let ops = g.vec(1usize..200, |g| g.gen_range(0u32..3));
         let mut f: Fifo<u64> = Fifo::new(16);
         let mut model: std::collections::VecDeque<u64> = Default::default();
         let mut staged: std::collections::VecDeque<u64> = Default::default();
@@ -61,7 +62,7 @@ proptest! {
                 }
                 1 => {
                     let got = f.pop();
-                    prop_assert_eq!(got, model.pop_front());
+                    assert_eq!(got, model.pop_front());
                 }
                 _ => {
                     f.commit();
@@ -72,8 +73,9 @@ proptest! {
     }
 
     /// The bandwidth meter never exceeds its configured rate over time.
-    #[test]
-    fn bandwidth_never_exceeds_rate(rate in 1.0f64..64.0, req in 1u64..128) {
+    fn bandwidth_never_exceeds_rate(g) {
+        let rate = g.gen_range(1.0f64..64.0);
+        let req = g.gen_range(1u64..128);
         let mut m = BandwidthMeter::new(rate);
         let mut moved = 0u64;
         let cycles = 500u64;
@@ -84,32 +86,34 @@ proptest! {
             }
         }
         // Allow the burst window on top of the sustained rate.
-        prop_assert!(moved as f64 <= rate * cycles as f64 + rate * 4.0 + req as f64);
+        assert!(moved as f64 <= rate * cycles as f64 + rate * 4.0 + req as f64);
     }
 
     /// Flat union-find partitions match the classic structure under any
     /// union sequence.
-    #[test]
-    fn union_find_equivalence(edges in proptest::collection::vec((0u32..32, 0u32..32), 0..64)) {
+    fn union_find_equivalence(g) {
+        let edges = g.vec(0usize..64, |g| {
+            (g.gen_range(0u32..32), g.gen_range(0u32..32))
+        });
         let mut classic = UnionFind::new(32);
         let mut arr = vec![0u64; 32];
         FlatUnionFind::init(&mut arr);
         let mut flat = FlatUnionFind::new(&mut arr);
         for (a, b) in edges {
-            prop_assert_eq!(classic.union(a, b), flat.union(a as u64, b as u64));
+            assert_eq!(classic.union(a, b), flat.union(a as u64, b as u64));
         }
         for i in 0..32u32 {
             for j in (i + 1)..32u32 {
-                prop_assert_eq!(classic.same(i, j), flat.find(i as u64) == flat.find(j as u64));
+                assert_eq!(classic.same(i, j), flat.find(i as u64) == flat.find(j as u64));
             }
         }
     }
 
     /// The round-based software runtime is sequentially consistent for an
     /// arbitrary mix of read-modify-write tasks.
-    #[test]
-    fn software_runtime_matches_interpreter(cells in proptest::collection::vec(0u64..6, 1..40),
-                                            width in 1usize..16) {
+    fn software_runtime_matches_interpreter(g) {
+        let cells = g.vec(1usize..40, |g| g.gen_range(0u64..6));
+        let width = g.gen_range(1usize..16);
         let mut s = Spec::new("prop");
         let r = s.region("cells", 8);
         let ts = s.task_set("t", TaskSetKind::ForEach, 1, &["cell"]);
@@ -129,28 +133,30 @@ proptest! {
         }
         let seq = SeqInterp::run(&s, &input).unwrap();
         let par = ParRunner::run(&s, &input, ParConfig { width, max_steps: 100_000 }).unwrap();
-        prop_assert!(par.mem.diff(&seq.mem, 3).is_empty());
+        assert!(par.mem.diff(&seq.mem, 3).is_empty());
     }
 }
 
-proptest! {
+props! {
     // Fabric runs are expensive; fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(8))]
+    cases = 8;
 
     /// SPEC-BFS levels are correct on random road networks for any seed
     /// and root.
-    #[test]
-    fn fabric_bfs_correct_on_random_inputs(seed in 0u64..1000, root in 0u32..64) {
-        let g = std::sync::Arc::new(gen::road_network(8, 8, 0.85, 4, seed));
-        let app = apir::apps::bfs::build(g, root, apir::apps::bfs::BfsVariant::Spec);
+    fn fabric_bfs_correct_on_random_inputs(g) {
+        let seed = g.gen_range(0u64..1000);
+        let root = g.gen_range(0u32..64);
+        let graph = std::sync::Arc::new(gen::road_network(8, 8, 0.85, 4, seed));
+        let app = apir::apps::bfs::build(graph, root, apir::apps::bfs::BfsVariant::Spec);
         let fab = Fabric::new(&app.spec, &app.input, FabricConfig::default()).run().unwrap();
-        prop_assert!((app.check)(&fab.mem_image).is_ok());
+        assert!((app.check)(&fab.mem_image).is_ok());
     }
 
     /// Commutative fetch-and-add workloads give identical images on the
     /// fabric regardless of configuration.
-    #[test]
-    fn fabric_faa_deterministic(npipes in 1usize..4, banks in 1usize..4) {
+    fn fabric_faa_deterministic(g) {
+        let npipes = g.gen_range(1usize..4);
+        let banks = g.gen_range(1usize..4);
         let mut s = Spec::new("faa");
         let r = s.region("acc", 16);
         let ts = s.task_set("t", TaskSetKind::ForAll, 1, &["i"]);
@@ -171,7 +177,7 @@ proptest! {
         };
         let fab = Fabric::new(&s, &input, cfg).run().unwrap();
         for c in 0..16u64 {
-            prop_assert_eq!(fab.mem_image.read(apir::core::spec::RegionId(0), c), 4);
+            assert_eq!(fab.mem_image.read(apir::core::spec::RegionId(0), c), 4);
         }
     }
 }
