@@ -1,0 +1,89 @@
+//! `apir-lint` — run the APIR static analyzer over benchmark specs.
+//!
+//! ```text
+//! apir-lint [--machine] [--strict] [--codes] [APP...]
+//! ```
+//!
+//! With no `APP` arguments, lints every builtin benchmark spec (SPEC-BFS,
+//! COOR-BFS, SPEC-SSSP, SPEC-MST, SPEC-DMR, COOR-LU). Exits `1` if any
+//! analyzed spec has an error-level diagnostic (`--strict` also fails on
+//! warnings), `2` on usage errors.
+//!
+//! * `--machine` — one pipe-separated line per diagnostic
+//!   (`CODE|severity|subject|entity|message|hint`) instead of text.
+//! * `--codes` — print the table of stable diagnostic codes and exit.
+
+use apir_check::{builtin_apps, check_all, Lint, Severity};
+
+fn main() {
+    let mut machine = false;
+    let mut strict = false;
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--machine" => machine = true,
+            "--strict" => strict = true,
+            "--codes" => {
+                print_codes();
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: apir-lint [--machine] [--strict] [--codes] [APP...]");
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("apir-lint: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+            app => names.push(app.to_string()),
+        }
+    }
+
+    let apps = builtin_apps();
+    let selected: Vec<_> = if names.is_empty() {
+        apps
+    } else {
+        let mut picked = Vec::new();
+        for want in &names {
+            match apps.iter().find(|(n, _)| n == want) {
+                Some(found) => picked.push(found.clone()),
+                None => {
+                    eprintln!(
+                        "apir-lint: unknown app `{want}` (known: {})",
+                        apps.iter()
+                            .map(|(n, _)| n.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        picked
+    };
+
+    let mut failed = false;
+    for (_, spec) in &selected {
+        let report = check_all(spec);
+        if machine {
+            print!("{}", report.render_machine());
+        } else {
+            print!("{}", report.render_text());
+        }
+        failed |= report.has_errors()
+            || (strict && report.at(Severity::Warn).next().is_some());
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+fn print_codes() {
+    println!("{:<10} {:<8} description", "code", "default");
+    for lint in Lint::all() {
+        println!(
+            "{:<10} {:<8} {}",
+            lint.code(),
+            lint.default_severity().to_string(),
+            lint.describe()
+        );
+    }
+}

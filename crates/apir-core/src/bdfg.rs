@@ -48,7 +48,7 @@ pub struct Actor {
 }
 
 /// Kind of a BDFG channel.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EdgeKind {
     /// Task tokens flowing through a pipeline.
     Token,
@@ -108,6 +108,15 @@ impl Bdfg {
     /// Panics if the spec was not validated.
     pub fn from_spec(spec: &Spec) -> Self {
         assert!(spec.is_validated(), "spec must be validated");
+        Self::lower_unchecked(spec)
+    }
+
+    /// Lowers a spec into its BDFG without requiring validation.
+    ///
+    /// The analyzer ([`crate::check::check_all`]) uses this to lint graphs
+    /// of not-yet-built specs; it only lowers specs whose body-structure
+    /// lints are clean, so the lowering cannot index out of bounds.
+    pub fn lower_unchecked(spec: &Spec) -> Self {
         let mut g = Bdfg {
             actors: Vec::new(),
             edges: Vec::new(),
@@ -185,6 +194,10 @@ impl Bdfg {
                     | BodyOp::EnqueueRange { task_set, .. } => {
                         g.edge(id, pushes[task_set.0], EdgeKind::Queue);
                     }
+                    BodyOp::Requeue { .. } => {
+                        // Recirculation pushes into the task's own queue.
+                        g.edge(id, pushes[tsi], EdgeKind::Queue);
+                    }
                     BodyOp::AllocRule { rule, .. } => {
                         g.edge(id, rule_engines[rule.0], EdgeKind::Rule);
                     }
@@ -227,28 +240,35 @@ impl Bdfg {
         &self.edges
     }
 
-    /// Validates structural invariants of the graph.
+    /// Assembles a graph from hand-built parts (tests and tooling that
+    /// exercise the analyzer on deliberately malformed graphs).
+    pub fn from_parts(actors: Vec<Actor>, edges: Vec<Edge>, n_task_sets: usize) -> Self {
+        Bdfg {
+            actors,
+            edges,
+            n_task_sets,
+        }
+    }
+
+    /// Runs the graph-level analyses (structure, reachability, cycles) and
+    /// returns the full report. Needs the spec for guard information.
+    pub fn check(&self, spec: &Spec) -> crate::check::Report {
+        crate::check::check_bdfg(self, spec)
+    }
+
+    /// Validates structural invariants of the graph: every channel
+    /// endpoint exists and every queue-pop actor has an incoming queue
+    /// edge.
     ///
-    /// Checks that every edge endpoint exists, every queue-pop actor has an
-    /// incoming queue edge, and every primitive chain starts at its pop.
+    /// Thin compatibility shim over the structural family of the analyzer
+    /// ([`crate::check::check_bdfg_structure`]); the first error-level
+    /// diagnostic becomes the error string.
     pub fn validate(&self) -> Result<(), String> {
-        for e in &self.edges {
-            if e.from >= self.actors.len() || e.to >= self.actors.len() {
-                return Err(format!("dangling edge {e:?}"));
-            }
+        let report = crate::check::check_bdfg_structure(self);
+        match report.first_error() {
+            Some(d) => Err(d.message.clone()),
+            None => Ok(()),
         }
-        for a in &self.actors {
-            if let ActorKind::QueuePop(_) = a.kind {
-                let fed = self
-                    .edges
-                    .iter()
-                    .any(|e| e.to == a.id && e.kind == EdgeKind::Queue);
-                if !fed {
-                    return Err(format!("queue pop `{}` has no push feeding it", a.label));
-                }
-            }
-        }
-        Ok(())
     }
 
     /// Summary statistics.

@@ -24,6 +24,8 @@
 //!   allocation, rendezvous, event emission, extern IP cores);
 //! * [`bdfg`] — the Boolean Dataflow Graph IR, lowering, validation and DOT
 //!   export;
+//! * [`check`] — the static analyzer: liveness, well-formedness, memory
+//!   hazard and interface lints with stable `APIRxxx` diagnostic codes;
 //! * [`interp`] — the sequential reference interpreter (the golden model:
 //!   Definition 4.3's "iteratively apply the minimum active task");
 //! * [`mem`] — the region-based memory image shared by every execution
@@ -52,6 +54,7 @@
 //! ```
 
 pub mod bdfg;
+pub mod check;
 pub mod expr;
 pub mod index;
 pub mod interp;
@@ -62,6 +65,7 @@ pub mod program;
 pub mod rule;
 pub mod spec;
 
+pub use check::{Diagnostic, Lint, Report, Severity};
 pub use index::IndexTuple;
 pub use mem::{MemAccess, MemImage};
 pub use program::{ProgramInput, SeededTask};

@@ -8,8 +8,7 @@
 use crate::index::IndexTuple;
 use crate::mem::MemAccess;
 use crate::op::{AluOp, BodyOp, StoreKind, ValRef};
-use crate::rule::{EventPat, RuleDecl};
-use crate::{MAX_DEPTH, MAX_FIELDS};
+use crate::rule::RuleDecl;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -153,6 +152,12 @@ pub enum SpecError {
     BadCountdownParam { rule: String },
     /// A task set body was never provided.
     EmptyBody { task_set: String },
+    /// An error-level finding of the static analyzer with no legacy
+    /// equivalent; carries the stable `APIRxxx` code and rendered message.
+    Lint {
+        code: &'static str,
+        message: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -197,6 +202,7 @@ impl fmt::Display for SpecError {
             SpecError::EmptyBody { task_set } => {
                 write!(f, "task set `{task_set}` has an empty body")
             }
+            SpecError::Lint { code, message } => write!(f, "[{code}] {message}"),
         }
     }
 }
@@ -294,146 +300,33 @@ impl Spec {
         }
     }
 
-    /// Validates the specification.
+    /// Validates the specification by running the static analyzer
+    /// ([`crate::check::check_spec`]) and failing on the first error-level
+    /// diagnostic.
     ///
     /// # Errors
     ///
     /// Returns the first [`SpecError`] found: forward references, arity
     /// mismatches, rendezvous without rule, width violations, etc.
+    /// Error-level lints with no legacy equivalent (e.g. a dead waiting
+    /// rule, an unguarded store/store race) map to [`SpecError::Lint`].
     pub fn build(mut self) -> Result<Spec, SpecError> {
-        // Collect labels actually emitted by bodies or available to externs.
-        // (Extern cores may emit any label, so only flag unused labels when
-        // there are no externs at all.)
-        let mut emitted = vec![false; self.labels.len()];
-        for ts in &self.task_sets {
-            if ts.body.is_empty() {
-                return Err(SpecError::EmptyBody {
-                    task_set: ts.name.clone(),
-                });
-            }
-            if ts.level == 0 || ts.level > MAX_DEPTH {
-                return Err(SpecError::BadLevel {
-                    task_set: ts.name.clone(),
-                    level: ts.level,
-                });
-            }
-            if ts.arity() > MAX_FIELDS {
-                return Err(SpecError::WidthExceeded {
-                    what: format!("fields of task set `{}`", ts.name),
-                    limit: MAX_FIELDS,
-                });
-            }
-            for (pos, op) in ts.body.iter().enumerate() {
-                for v in op.operands() {
-                    if v.pos() >= pos {
-                        return Err(SpecError::ForwardReference {
-                            task_set: ts.name.clone(),
-                            op: pos,
-                        });
-                    }
-                }
-                match op {
-                    BodyOp::Rendezvous { rule_instance, .. } => {
-                        if !matches!(ts.body[rule_instance.pos()], BodyOp::AllocRule { .. }) {
-                            return Err(SpecError::BadRendezvous {
-                                task_set: ts.name.clone(),
-                                op: pos,
-                            });
-                        }
-                    }
-                    BodyOp::AllocRule { rule, params, .. } => {
-                        let decl = &self.rules[rule.0];
-                        if params.len() != decl.n_params as usize {
-                            return Err(SpecError::RuleArityMismatch {
-                                task_set: ts.name.clone(),
-                                op: pos,
-                                expected: decl.n_params as usize,
-                                got: params.len(),
-                            });
-                        }
-                    }
-                    BodyOp::Enqueue {
-                        task_set: target,
-                        fields,
-                        ..
-                    } => {
-                        let want = self.task_sets[target.0].arity();
-                        if fields.len() != want {
-                            return Err(SpecError::ArityMismatch {
-                                task_set: ts.name.clone(),
-                                op: pos,
-                                expected: want,
-                                got: fields.len(),
-                            });
-                        }
-                    }
-                    BodyOp::Requeue { fields, .. } => {
-                        if fields.len() != ts.arity() {
-                            return Err(SpecError::ArityMismatch {
-                                task_set: ts.name.clone(),
-                                op: pos,
-                                expected: ts.arity(),
-                                got: fields.len(),
-                            });
-                        }
-                    }
-                    BodyOp::EnqueueRange {
-                        task_set: target,
-                        extra,
-                        ..
-                    } => {
-                        let want = self.task_sets[target.0].arity();
-                        if extra.len() + 1 != want {
-                            return Err(SpecError::ArityMismatch {
-                                task_set: ts.name.clone(),
-                                op: pos,
-                                expected: want,
-                                got: extra.len() + 1,
-                            });
-                        }
-                    }
-                    BodyOp::Emit { label, payload, .. } => {
-                        if payload.len() > MAX_FIELDS {
-                            return Err(SpecError::WidthExceeded {
-                                what: format!("emit payload in `{}`", ts.name),
-                                limit: MAX_FIELDS,
-                            });
-                        }
-                        emitted[label.0] = true;
-                    }
-                    _ => {}
-                }
-            }
-        }
-        for r in &self.rules {
-            if r.n_params as usize > MAX_FIELDS {
-                return Err(SpecError::WidthExceeded {
-                    what: format!("params of rule `{}`", r.name),
-                    limit: MAX_FIELDS,
-                });
-            }
-            if let Some(p) = r.countdown_param {
-                if p >= r.n_params {
-                    return Err(SpecError::BadCountdownParam {
-                        rule: r.name.clone(),
-                    });
-                }
-            }
-            if self.externs.is_empty() {
-                for c in &r.clauses {
-                    if let EventPat::Label(l) = c.event {
-                        if !emitted[l.0] {
-                            return Err(SpecError::UnusedLabel {
-                                rule: r.name.clone(),
-                                label: l.0,
-                            });
-                        }
-                    }
-                }
-            }
+        let report = crate::check::check_spec(&self);
+        if let Some(d) = report.first_error() {
+            return Err(d.legacy_error().cloned().unwrap_or(SpecError::Lint {
+                code: d.lint.code(),
+                message: d.message.clone(),
+            }));
         }
         self.validated = true;
         Ok(self)
+    }
+
+    /// Runs the full static-analysis pass (spec lints plus BDFG lints over
+    /// the lowered graph) without consuming the spec. Works on both built
+    /// and not-yet-built specs.
+    pub fn check(&self) -> crate::check::Report {
+        crate::check::check_all(self)
     }
 
     /// Was [`Spec::build`] run successfully?

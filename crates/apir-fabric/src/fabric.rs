@@ -38,6 +38,12 @@ pub enum FabricError {
     },
     /// The run exceeded `max_cycles`.
     MaxCycles(u64),
+    /// The static analyzer found error-level diagnostics in the spec; the
+    /// fabric refuses to simulate a graph it knows is broken.
+    RejectedByLint {
+        /// The rendered lint report.
+        report: String,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -47,6 +53,9 @@ impl fmt::Display for FabricError {
                 write!(f, "deadlock at cycle {cycle}: {diagnostics}")
             }
             FabricError::MaxCycles(c) => write!(f, "exceeded max cycles ({c})"),
+            FabricError::RejectedByLint { report } => {
+                write!(f, "spec rejected by static analysis:\n{report}")
+            }
         }
     }
 }
@@ -163,6 +172,9 @@ pub struct Fabric {
     requeues: u64,
     bounces: u64,
     retire_log: Vec<(u64, usize)>,
+    /// Rendered lint report when the analyzer found error-level findings;
+    /// [`Fabric::run`] refuses to start while this is set.
+    lint_errors: Option<String>,
 }
 
 impl Fabric {
@@ -248,6 +260,10 @@ impl Fabric {
             .iter()
             .map(|t| (t.task_set, to_fields(&t.fields)))
             .collect();
+        // Full static-analysis pass (spec + BDFG families): the fabric
+        // refuses at `run` to simulate a spec with error-level findings.
+        let lint = apir_core::check::check_all(spec);
+        let lint_errors = lint.has_errors().then(|| lint.render_text());
         Fabric {
             retired: vec![0; spec.task_sets().len()],
             spec: spec.clone(),
@@ -271,6 +287,7 @@ impl Fabric {
             requeues: 0,
             bounces: 0,
             retire_log: Vec::new(),
+            lint_errors,
         }
     }
 
@@ -278,9 +295,14 @@ impl Fabric {
     ///
     /// # Errors
     ///
+    /// [`FabricError::RejectedByLint`] when the static analyzer found
+    /// error-level diagnostics in the spec;
     /// [`FabricError::Deadlock`] when nothing makes progress for the
     /// configured window; [`FabricError::MaxCycles`] on timeout.
     pub fn run(mut self) -> Result<FabricReport, FabricError> {
+        if let Some(report) = self.lint_errors.take() {
+            return Err(FabricError::RejectedByLint { report });
+        }
         loop {
             self.tick();
             if self.is_done() {

@@ -41,6 +41,15 @@ fn main() {
 
     println!("{}", pretty::render(&app.spec));
 
+    let report = apir::check::check_all(&app.spec);
+    if report.diagnostics().is_empty() {
+        println!("// lint: clean");
+    } else {
+        for line in report.render_text().lines() {
+            println!("// lint: {line}");
+        }
+    }
+
     let bdfg = Bdfg::from_spec(&app.spec);
     bdfg.validate().expect("BDFG is well-formed");
     let sum = bdfg.summary();

@@ -6,11 +6,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline
+echo "==> cargo build --release --offline (warnings are errors)"
+RUSTFLAGS="-D warnings" cargo build --release --offline
 
 echo "==> cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
+
+echo "==> apir-lint over the builtin benchmark specs"
+cargo run -q --release --offline -p apir-check --bin apir-lint
 
 echo "==> asserting the dependency graph is apir-only"
 external=$(cargo tree --offline --workspace --edges normal,build,dev --prefix none \

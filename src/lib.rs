@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the APIR framework.
 pub use apir_apps as apps;
+pub use apir_check as check;
 pub use apir_core as core;
 pub use apir_fabric as fabric;
 pub use apir_runtime as runtime;
