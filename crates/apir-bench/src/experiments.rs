@@ -336,6 +336,7 @@ pub fn ablation_lsu_window(scale: Scale, windows: &[usize]) -> String {
 /// that irregularity comes from the input.
 pub fn topology_sweep(scale: Scale) -> String {
     let side = match scale {
+        Scale::Tiny => 8,
         Scale::Small => 24,
         Scale::Medium => 48,
         Scale::Large => 96,

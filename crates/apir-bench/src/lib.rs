@@ -17,6 +17,11 @@
 //! The `figures` binary drives them:
 //! `cargo run -p apir-bench --release --bin figures -- all`.
 
+//! The machine-readable bench baseline (`BENCH_fabric.json`) lives in
+//! [`baseline`]: `figures bench` regenerates it, double-runs it to prove
+//! byte-identical determinism, and schema-validates it.
+
+pub mod baseline;
 pub mod experiments;
 pub mod scale;
 

@@ -16,6 +16,9 @@ use std::sync::Arc;
 /// Experiment scale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
+    /// Sub-second per experiment — golden tests and smoke gates. The
+    /// pinned scale of the `BENCH_fabric.json` baseline.
+    Tiny,
     /// Seconds per experiment — CI and quick looks.
     Small,
     /// Tens of seconds per experiment — the default for figures.
@@ -25,9 +28,10 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `small` / `medium` / `large`.
+    /// Parses `tiny` / `small` / `medium` / `large`.
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
+            "tiny" => Some(Scale::Tiny),
             "small" => Some(Scale::Small),
             "medium" => Some(Scale::Medium),
             "large" => Some(Scale::Large),
@@ -35,9 +39,20 @@ impl Scale {
         }
     }
 
+    /// The scale's canonical lowercase name (inverse of [`Scale::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        }
+    }
+
     /// Road-network grid side for BFS.
     fn bfs_side(self) -> usize {
         match self {
+            Scale::Tiny => 8,
             Scale::Small => 24,
             Scale::Medium => 48,
             Scale::Large => 96,
@@ -47,6 +62,7 @@ impl Scale {
     /// Road-network grid side for SSSP.
     fn sssp_side(self) -> usize {
         match self {
+            Scale::Tiny => 7,
             Scale::Small => 20,
             Scale::Medium => 40,
             Scale::Large => 72,
@@ -56,6 +72,7 @@ impl Scale {
     /// (vertices, edges) for MST.
     fn mst_size(self) -> (usize, usize) {
         match self {
+            Scale::Tiny => (40, 120),
             Scale::Small => (200, 600),
             Scale::Medium => (600, 2_000),
             Scale::Large => (2_000, 7_000),
@@ -65,6 +82,7 @@ impl Scale {
     /// Initial interior points for DMR.
     fn dmr_points(self) -> usize {
         match self {
+            Scale::Tiny => 16,
             Scale::Small => 60,
             Scale::Medium => 160,
             Scale::Large => 400,
@@ -74,6 +92,7 @@ impl Scale {
     /// (block rows, block size) for LU.
     fn lu_size(self) -> (usize, usize) {
         match self {
+            Scale::Tiny => (3, 4),
             Scale::Small => (5, 8),
             Scale::Medium => (8, 12),
             Scale::Large => (12, 16),
@@ -139,15 +158,28 @@ mod tests {
 
     #[test]
     fn parse_scales() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
         assert_eq!(Scale::parse("small"), Some(Scale::Small));
         assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
         assert_eq!(Scale::parse("huge"), None);
+        for s in [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large] {
+            assert_eq!(Scale::parse(s.name()), Some(s));
+        }
     }
 
     #[test]
     fn all_apps_build_at_small() {
         for name in APP_NAMES {
             let app = build_app(name, Scale::Small);
+            assert_eq!(app.name, name);
+            assert!(!app.input.initial.is_empty(), "{name} seeds tasks");
+        }
+    }
+
+    #[test]
+    fn all_apps_build_at_tiny() {
+        for name in APP_NAMES {
+            let app = build_app(name, Scale::Tiny);
             assert_eq!(app.name, name);
             assert!(!app.input.initial.is_empty(), "{name} seeds tasks");
         }

@@ -1,0 +1,162 @@
+//! Machine-readable export of a [`FabricReport`].
+//!
+//! [`FabricReport::to_json`] renders the run's scalar results and the
+//! full metrics snapshot as deterministic JSON: objects keep insertion
+//! order, counters stay exact `u64`s, and floats use Rust's
+//! shortest-roundtrip `Display` — so two runs with the same seed render
+//! **byte-identical** documents (the determinism canary in
+//! `tests/cross_engine.rs` relies on this). The bulky per-run payloads
+//! (`mem_image`, `retirements`, the raw trace buffer) are intentionally
+//! excluded; the trace appears only as a summary.
+
+use crate::fabric::FabricReport;
+use crate::memory::MemStats;
+use crate::rules::RuleEngineStats;
+use apir_sim::metrics::{Histogram, MetricValue, MetricsSnapshot};
+use apir_util::Json;
+
+/// Schema identifier embedded in every exported report.
+pub const REPORT_SCHEMA: &str = "apir.fabric.report.v1";
+
+fn histogram_json(h: &Histogram) -> Json {
+    Json::obj([
+        ("count", Json::U64(h.count())),
+        ("sum", Json::U64(h.sum())),
+        ("max", Json::U64(h.max())),
+        (
+            "buckets",
+            Json::arr(
+                h.nonzero_buckets()
+                    .map(|(bound, n)| Json::arr([Json::U64(bound), Json::U64(n)])),
+            ),
+        ),
+    ])
+}
+
+fn metrics_json(snap: &MetricsSnapshot) -> Json {
+    Json::Obj(
+        snap.entries()
+            .iter()
+            .map(|(k, v)| {
+                let j = match v {
+                    MetricValue::Counter(c) => Json::U64(*c),
+                    MetricValue::Gauge(g) => Json::Num(*g),
+                    MetricValue::Histogram(h) => histogram_json(h),
+                };
+                (k.clone(), j)
+            })
+            .collect(),
+    )
+}
+
+fn mem_json(m: &MemStats) -> Json {
+    Json::obj([
+        ("reads", Json::U64(m.reads)),
+        ("writes", Json::U64(m.writes)),
+        ("hits", Json::U64(m.hits)),
+        ("misses", Json::U64(m.misses)),
+        ("qpi_bytes", Json::U64(m.qpi_bytes)),
+    ])
+}
+
+fn rule_json(r: &RuleEngineStats) -> Json {
+    Json::obj([
+        ("allocs", Json::U64(r.allocs)),
+        ("alloc_stalls", Json::U64(r.alloc_stalls)),
+        ("clause_fires", Json::U64(r.clause_fires)),
+        ("otherwise_fires", Json::U64(r.otherwise_fires)),
+        ("evictions", Json::U64(r.evictions)),
+        ("peak_lanes", Json::U64(r.peak_lanes)),
+    ])
+}
+
+impl FabricReport {
+    /// Builds the JSON document for this report (see [`REPORT_SCHEMA`]).
+    pub fn to_json_value(&self) -> Json {
+        let trace = match &self.trace {
+            Some(t) => Json::obj([
+                ("records", Json::U64(t.len() as u64)),
+                ("dropped", Json::U64(t.dropped())),
+                ("components", Json::U64(t.components().len() as u64)),
+            ]),
+            None => Json::Null,
+        };
+        Json::obj([
+            ("schema", Json::str(REPORT_SCHEMA)),
+            ("cycles", Json::U64(self.cycles)),
+            ("seconds", Json::Num(self.seconds)),
+            ("utilization", Json::Num(self.utilization)),
+            ("primitive_ops", Json::U64(self.primitive_ops as u64)),
+            (
+                "retired",
+                Json::arr(self.retired.iter().map(|&r| Json::U64(r))),
+            ),
+            ("squashes", Json::U64(self.squashes)),
+            ("requeues", Json::U64(self.requeues)),
+            ("bounces", Json::U64(self.bounces)),
+            ("extern_calls", Json::U64(self.extern_calls)),
+            (
+                "queue_peaks",
+                Json::arr(self.queue_peaks.iter().map(|&p| Json::U64(p as u64))),
+            ),
+            ("mem", mem_json(&self.mem)),
+            ("rules", Json::arr(self.rules.iter().map(rule_json))),
+            ("metrics", metrics_json(&self.metrics)),
+            ("trace", trace),
+        ])
+    }
+
+    /// Renders the report as compact deterministic JSON. Two runs of the
+    /// same spec/input/config produce byte-identical strings.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apir_sim::stats::UtilizationSummary;
+
+    fn tiny_report() -> FabricReport {
+        FabricReport {
+            cycles: 100,
+            seconds: 0.5e-6,
+            retired: vec![3, 4],
+            squashes: 1,
+            requeues: 2,
+            bounces: 0,
+            mem: MemStats::default(),
+            rules: vec![RuleEngineStats::default()],
+            utilization: 0.25,
+            primitive_ops: 8,
+            queue_peaks: vec![5, 6],
+            extern_calls: 0,
+            mem_image: apir_core::MemImage::new(&[]),
+            retirements: Vec::new(),
+            metrics: MetricsSnapshot::default(),
+            activity: UtilizationSummary::new(),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_and_is_deterministic() {
+        let r = tiny_report();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        let parsed = apir_util::json::parse(&a).expect("valid JSON");
+        assert_eq!(parsed.get("schema").unwrap().as_str(), Some(REPORT_SCHEMA));
+        assert_eq!(parsed.get("cycles").unwrap().as_u64(), Some(100));
+        assert_eq!(parsed.get("retired").unwrap().as_arr().unwrap().len(), 2);
+        assert!(parsed.get("trace").unwrap().get("records").is_none());
+    }
+
+    #[test]
+    fn excludes_bulky_payloads() {
+        let json = tiny_report().to_json();
+        assert!(!json.contains("mem_image"));
+        assert!(!json.contains("retirements"));
+    }
+}

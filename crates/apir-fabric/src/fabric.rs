@@ -11,9 +11,9 @@
 //! act on the real [`apir_core::MemImage`] at completion, so the final
 //! image can be compared against the sequential interpreter.
 
-use crate::memory::{MemStats, MemorySubsystem};
-use crate::queue::TaskQueue;
-use crate::rules::{ClaimOutcome, RuleEngine, RuleEngineStats};
+use crate::memory::{MemMetrics, MemStats, MemorySubsystem};
+use crate::queue::{QueueMetrics, TaskQueue};
+use crate::rules::{ClaimOutcome, RuleEngine, RuleEngineStats, RuleMetrics};
 use crate::types::{to_fields, Ctx, EventMsg, MemReq, TaskToken, WriteKind};
 use crate::FabricConfig;
 use apir_core::op::{BodyOp, StoreKind};
@@ -21,8 +21,10 @@ use apir_core::spec::{ExternIn, Spec, TaskSetId};
 use apir_core::{IndexTuple, ProgramInput, MAX_FIELDS};
 use apir_sim::delay::OutOfOrderStation;
 use apir_sim::fifo::Fifo;
+use apir_sim::metrics::{CounterId, GaugeId, MetricsRegistry, MetricsSnapshot};
 use apir_sim::seconds_from_cycles;
 use apir_sim::stats::{Activity, ActivityTracker, UtilizationSummary};
+use apir_sim::trace::{CompId, EventTrace};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
@@ -93,6 +95,13 @@ pub struct FabricReport {
     pub mem_image: apir_core::MemImage,
     /// `(cycle, task_set)` per retirement, if recording was enabled.
     pub retirements: Vec<(u64, usize)>,
+    /// Final snapshot of the metrics registry (stable `fabric.*`,
+    /// `queue.*`, `mem.*`, `rule.*` keys — see README §Observability).
+    pub metrics: MetricsSnapshot,
+    /// Per-primitive-operation busy/stall/idle totals.
+    pub activity: UtilizationSummary,
+    /// The structured event trace, when `trace_capacity > 0`.
+    pub trace: Option<EventTrace>,
 }
 
 impl FabricReport {
@@ -100,6 +109,59 @@ impl FabricReport {
     pub fn total_retired(&self) -> u64 {
         self.retired.iter().sum()
     }
+}
+
+/// Pre-registered handles for the fabric-level metric keys; component
+/// keys live in [`MemMetrics`], [`QueueMetrics`], [`RuleMetrics`].
+struct FabricMetricIds {
+    cycles: CounterId,
+    retired: Vec<CounterId>,
+    squashes: CounterId,
+    requeues: CounterId,
+    bounces: CounterId,
+    extern_calls: CounterId,
+    utilization: GaugeId,
+    queues: Vec<QueueMetrics>,
+    mem: MemMetrics,
+    rules: Vec<RuleMetrics>,
+}
+
+impl FabricMetricIds {
+    fn register(m: &mut MetricsRegistry, spec: &Spec) -> Self {
+        FabricMetricIds {
+            cycles: m.counter("fabric.cycles"),
+            retired: spec
+                .task_sets()
+                .iter()
+                .map(|t| m.counter(&format!("fabric.retired.{}", t.name)))
+                .collect(),
+            squashes: m.counter("fabric.squashes"),
+            requeues: m.counter("fabric.requeues"),
+            bounces: m.counter("fabric.bounces"),
+            extern_calls: m.counter("fabric.extern_calls"),
+            utilization: m.gauge("fabric.utilization"),
+            queues: spec
+                .task_sets()
+                .iter()
+                .map(|t| QueueMetrics::register(m, &t.name))
+                .collect(),
+            mem: MemMetrics::register(m),
+            rules: spec
+                .rules()
+                .iter()
+                .map(|r| RuleMetrics::register(m, &r.name))
+                .collect(),
+        }
+    }
+}
+
+/// Cheap per-tick capture of the totals whose deltas become trace
+/// records (allocated only when tracing is enabled).
+struct TickSnap {
+    mem: MemStats,
+    pushed: Vec<u64>,
+    rules: Vec<RuleEngineStats>,
+    seeds_pending: usize,
 }
 
 struct Stage {
@@ -110,6 +172,10 @@ struct Stage {
     /// Progress cursor of an in-flight `EnqueueRange`.
     expand_pos: Option<u64>,
     tracker: ActivityTracker,
+    /// Trace component of this stage (meaningful only when tracing).
+    comp: CompId,
+    /// Last activity state recorded to the trace (transition detection).
+    last_activity: Option<Activity>,
 }
 
 struct Pipeline {
@@ -118,6 +184,8 @@ struct Pipeline {
     stages: Vec<Stage>,
     /// Extern unit attached to this pipeline (if the body calls externs).
     extern_unit: Option<ExternUnit>,
+    /// Trace component of this pipeline (meaningful only when tracing).
+    comp: CompId,
 }
 
 struct ExternJob {
@@ -175,6 +243,13 @@ pub struct Fabric {
     /// Rendered lint report when the analyzer found error-level findings;
     /// [`Fabric::run`] refuses to start while this is set.
     lint_errors: Option<String>,
+    metrics: MetricsRegistry,
+    mids: FabricMetricIds,
+    trace: Option<EventTrace>,
+    tr_host: CompId,
+    tr_mem: CompId,
+    tr_queues: Vec<CompId>,
+    tr_rules: Vec<CompId>,
 }
 
 impl Fabric {
@@ -207,14 +282,33 @@ impl Fabric {
             .iter()
             .map(|r| RuleEngine::new(r.clone(), cfg.rule_lanes))
             .collect();
+        let mut metrics = MetricsRegistry::new();
+        let mids = FabricMetricIds::register(&mut metrics, spec);
+        let mut trace = (cfg.trace_capacity > 0).then(|| EventTrace::new(cfg.trace_capacity));
+        let mut intern = |name: &str| {
+            trace.as_mut().map_or(CompId(0), |t| t.comp(name))
+        };
+        let tr_host = intern("host");
+        let tr_mem = intern("mem");
+        let tr_queues: Vec<CompId> = spec
+            .task_sets()
+            .iter()
+            .map(|t| intern(&format!("queue:{}", t.name)))
+            .collect();
+        let tr_rules: Vec<CompId> = spec
+            .rules()
+            .iter()
+            .map(|r| intern(&format!("rule:{}", r.name)))
+            .collect();
         let mut next_port = 0u32;
         let mut resp_count = 0usize;
         let mut pipelines = Vec::new();
         for (tsi, ts) in spec.task_sets().iter().enumerate() {
-            for _replica in 0..cfg.pipelines_per_set {
+            for replica in 0..cfg.pipelines_per_set {
+                let pipe_name = format!("pipe:{}#{}", ts.name, replica);
                 let mut stages = Vec::with_capacity(ts.body.len());
                 let mut has_extern = false;
-                for op in &ts.body {
+                for (si, op) in ts.body.iter().enumerate() {
                     let (port, station) = match op {
                         BodyOp::Load { .. } | BodyOp::Store { .. } => {
                             let p = next_port;
@@ -235,11 +329,13 @@ impl Fabric {
                         _ => (None, None),
                     };
                     stages.push(Stage {
+                        comp: intern(&format!("{pipe_name}/s{si}:{}", op.mnemonic())),
                         op: op.clone(),
                         port,
                         station,
                         expand_pos: None,
                         tracker: ActivityTracker::new(),
+                        last_activity: None,
                     });
                 }
                 resp_count = next_port as usize;
@@ -252,6 +348,7 @@ impl Fabric {
                         busy: None,
                         calls: 0,
                     }),
+                    comp: intern(&pipe_name),
                 });
             }
         }
@@ -288,6 +385,13 @@ impl Fabric {
             bounces: 0,
             retire_log: Vec::new(),
             lint_errors,
+            metrics,
+            mids,
+            trace,
+            tr_host,
+            tr_mem,
+            tr_queues,
+            tr_rules,
         }
     }
 
@@ -360,14 +464,19 @@ impl Fabric {
         s
     }
 
-    fn into_report(self) -> FabricReport {
+    fn into_report(mut self) -> FabricReport {
         let mut util = UtilizationSummary::new();
         for (pi, p) in self.pipelines.iter().enumerate() {
             for (si, st) in p.stages.iter().enumerate() {
                 util.add(format!("p{pi}.s{si}:{}", st.op.mnemonic()), st.tracker);
             }
         }
+        self.metrics
+            .set_gauge(self.mids.utilization, util.pipeline_utilization());
         FabricReport {
+            metrics: self.metrics.snapshot(),
+            activity: util.clone(),
+            trace: self.trace,
             cycles: self.cycle,
             seconds: seconds_from_cycles(self.cfg.clock_mhz, self.cycle),
             retired: self.retired,
@@ -395,6 +504,13 @@ impl Fabric {
         self.cycle += 1;
         let now = self.cycle;
         let mut progress = false;
+        // Totals whose per-cycle deltas become trace records.
+        let snap = self.trace.as_ref().map(|_| TickSnap {
+            mem: self.mem.stats(),
+            pushed: self.queues.iter().map(TaskQueue::pushed_total).collect(),
+            rules: self.engines.iter().map(RuleEngine::stats).collect(),
+            seeds_pending: self.seed_backlog.len(),
+        });
 
         // 1) Memory subsystem: completions -> response ports.
         let mut responses = Vec::new();
@@ -467,6 +583,14 @@ impl Fabric {
 
         // 6) Pipelines.
         for pi in 0..self.pipelines.len() {
+            let before = snap.as_ref().map(|_| {
+                (
+                    self.retired.iter().sum::<u64>(),
+                    self.squashes,
+                    self.requeues,
+                    self.bounces,
+                )
+            });
             let p = &mut self.pipelines[pi];
             progress |= tick_pipeline(
                 p,
@@ -487,7 +611,22 @@ impl Fabric {
                 &mut self.requeues,
                 &mut self.bounces,
                 self.cfg.record_retirements.then_some(&mut self.retire_log),
+                self.trace.as_mut(),
             );
+            if let Some((r0, s0, q0, b0)) = before {
+                let comp = self.pipelines[pi].comp;
+                let tr = self.trace.as_mut().expect("snap implies trace");
+                for (ev, d) in [
+                    ("retire", self.retired.iter().sum::<u64>() - r0),
+                    ("squash", self.squashes - s0),
+                    ("requeue", self.requeues - q0),
+                    ("bounce", self.bounces - b0),
+                ] {
+                    if d > 0 {
+                        tr.record(now, comp, ev, d);
+                    }
+                }
+            }
         }
 
         // 7) End of cycle: commit staged state.
@@ -506,8 +645,85 @@ impl Fabric {
             progress = true;
         }
 
+        // 8) Observability: trace deltas vs the start-of-tick snapshot,
+        // then publish this cycle's totals into the metrics registry.
+        if let Some(snap) = snap {
+            self.record_tick_deltas(now, &snap);
+        }
+        self.publish_cycle();
+
         if progress {
             self.last_progress = self.cycle;
+        }
+    }
+
+    /// Emits trace records for whatever the shared components (host,
+    /// memory, queues, rule engines) did this cycle, as deltas against
+    /// the totals captured at the top of [`Fabric::tick`].
+    fn record_tick_deltas(&mut self, now: u64, snap: &TickSnap) {
+        let tr = self.trace.as_mut().expect("snap implies trace");
+        let seeded = snap.seeds_pending.saturating_sub(self.seed_backlog.len());
+        if seeded > 0 {
+            tr.record(now, self.tr_host, "seed", seeded as u64);
+        }
+        let mem = self.mem.stats();
+        for (ev, d) in [
+            ("hit", mem.hits - snap.mem.hits),
+            ("miss", mem.misses - snap.mem.misses),
+            ("write", mem.writes - snap.mem.writes),
+        ] {
+            if d > 0 {
+                tr.record(now, self.tr_mem, ev, d);
+            }
+        }
+        for (qi, q) in self.queues.iter().enumerate() {
+            let d = q.pushed_total() - snap.pushed[qi];
+            if d > 0 {
+                tr.record(now, self.tr_queues[qi], "push", d);
+            }
+        }
+        for (ei, e) in self.engines.iter().enumerate() {
+            let s = e.stats();
+            let p = &snap.rules[ei];
+            for (ev, d) in [
+                ("alloc", s.allocs - p.allocs),
+                ("nack", s.alloc_stalls - p.alloc_stalls),
+                ("clause", s.clause_fires - p.clause_fires),
+                ("otherwise", s.otherwise_fires - p.otherwise_fires),
+                ("evict", s.evictions - p.evictions),
+            ] {
+                if d > 0 {
+                    tr.record(now, self.tr_rules[ei], ev, d);
+                }
+            }
+        }
+    }
+
+    /// Syncs every registered metric with the component totals at the end
+    /// of the cycle. Gauges get the instantaneous value; occupancy
+    /// histograms get one observation per cycle.
+    fn publish_cycle(&mut self) {
+        let m = &mut self.metrics;
+        m.set_counter(self.mids.cycles, self.cycle);
+        for (id, &r) in self.mids.retired.iter().zip(self.retired.iter()) {
+            m.set_counter(*id, r);
+        }
+        m.set_counter(self.mids.squashes, self.squashes);
+        m.set_counter(self.mids.requeues, self.requeues);
+        m.set_counter(self.mids.bounces, self.bounces);
+        let externs: u64 = self
+            .pipelines
+            .iter()
+            .filter_map(|p| p.extern_unit.as_ref())
+            .map(|u| u.calls)
+            .sum();
+        m.set_counter(self.mids.extern_calls, externs);
+        for (q, ids) in self.queues.iter().zip(self.mids.queues.iter()) {
+            q.publish(ids, m);
+        }
+        self.mem.publish(&self.mids.mem, m);
+        for (e, ids) in self.engines.iter().zip(self.mids.rules.iter()) {
+            e.publish(ids, m);
         }
     }
 }
@@ -593,6 +809,7 @@ fn tick_pipeline(
     requeues: &mut u64,
     bounces: &mut u64,
     retire_log: Option<&mut Vec<(u64, usize)>>,
+    mut trace: Option<&mut EventTrace>,
 ) -> bool {
     let n = p.stages.len();
     let mut progress = false;
@@ -1055,6 +1272,20 @@ fn tick_pipeline(
             Activity::Idle
         };
         p.stages[i].tracker.record(state);
+        // Trace only activity *transitions* so a stage that stays busy for
+        // ten thousand cycles costs one record, not ten thousand.
+        if let Some(tr) = trace.as_deref_mut() {
+            let st = &mut p.stages[i];
+            if st.last_activity != Some(state) {
+                st.last_activity = Some(state);
+                let ev = match state {
+                    Activity::Busy => "busy",
+                    Activity::Stall => "stall",
+                    Activity::Idle => "idle",
+                };
+                tr.record(now, st.comp, ev, 0);
+            }
+        }
         let _ = occupied;
     }
 

@@ -30,6 +30,7 @@
 //! stale data exactly as hardware would, and the final image is compared
 //! against the sequential interpreter in tests.
 
+pub mod export;
 pub mod fabric;
 pub mod memory;
 pub mod queue;
@@ -75,6 +76,11 @@ pub struct FabricConfig {
     /// Record `(cycle, task_set)` for every retirement (schedule
     /// diagrams; costs memory on big runs).
     pub record_retirements: bool,
+    /// Ring-buffer capacity of the structured event trace; `0` (the
+    /// default) disables tracing entirely. When the buffer fills, the
+    /// oldest records are evicted and counted in
+    /// [`apir_sim::trace::EventTrace::dropped`].
+    pub trace_capacity: usize,
 }
 
 impl Default for FabricConfig {
@@ -93,6 +99,7 @@ impl Default for FabricConfig {
             max_cycles: 2_000_000_000,
             deadlock_cycles: 100_000,
             record_retirements: false,
+            trace_capacity: 0,
         }
     }
 }

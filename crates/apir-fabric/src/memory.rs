@@ -19,6 +19,7 @@ use crate::types::{MemReq, WriteKind};
 use apir_sim::bandwidth::BandwidthMeter;
 use apir_sim::delay::DelayLine;
 use apir_sim::fifo::Fifo;
+use apir_sim::metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 use apir_sim::{cycles_from_ns, Cycle};
 use apir_core::{MemAccess, MemImage};
 use std::collections::VecDeque;
@@ -72,6 +73,33 @@ pub struct MemStats {
     pub misses: u64,
     /// Bytes moved over the link.
     pub qpi_bytes: u64,
+}
+
+/// Handles for the memory subsystem's stable metric keys (`mem.*`).
+#[derive(Clone, Copy, Debug)]
+pub struct MemMetrics {
+    reads: CounterId,
+    writes: CounterId,
+    hits: CounterId,
+    misses: CounterId,
+    qpi_bytes: CounterId,
+    inflight: GaugeId,
+    inflight_hist: HistogramId,
+}
+
+impl MemMetrics {
+    /// Registers the `mem.*` keys.
+    pub fn register(m: &mut MetricsRegistry) -> Self {
+        MemMetrics {
+            reads: m.counter("mem.reads"),
+            writes: m.counter("mem.writes"),
+            hits: m.counter("mem.hits"),
+            misses: m.counter("mem.misses"),
+            qpi_bytes: m.counter("mem.qpi_bytes"),
+            inflight: m.gauge("mem.inflight"),
+            inflight_hist: m.histogram("mem.inflight_hist"),
+        }
+    }
 }
 
 struct TagArray {
@@ -183,6 +211,29 @@ impl MemorySubsystem {
     /// Statistics so far.
     pub fn stats(&self) -> MemStats {
         self.stats
+    }
+
+    /// Requests currently inside the subsystem (queued, waiting for
+    /// admission, or traversing a latency pipe).
+    pub fn inflight(&self) -> usize {
+        self.requests.len()
+            + self.hit_pipe.len()
+            + self.miss_pipe.len()
+            + self.write_pipe.len()
+            + self.miss_wait.len()
+    }
+
+    /// Publishes the per-cycle view into the metrics registry: the
+    /// running `MemStats` totals, plus occupancy (gauge + histogram).
+    pub fn publish(&self, ids: &MemMetrics, m: &mut MetricsRegistry) {
+        m.set_counter(ids.reads, self.stats.reads);
+        m.set_counter(ids.writes, self.stats.writes);
+        m.set_counter(ids.hits, self.stats.hits);
+        m.set_counter(ids.misses, self.stats.misses);
+        m.set_counter(ids.qpi_bytes, self.stats.qpi_bytes);
+        let inflight = self.inflight() as u64;
+        m.set_gauge(ids.inflight, inflight as f64);
+        m.observe(ids.inflight_hist, inflight);
     }
 
     /// Is anything in flight?

@@ -11,6 +11,29 @@ use crate::types::TaskToken;
 use apir_core::spec::TaskSetKind;
 use apir_core::IndexTuple;
 use apir_sim::fifo::Fifo;
+use apir_sim::metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+
+/// Handles for one task queue's stable metric keys
+/// (`queue.<task_set>.*`).
+#[derive(Clone, Copy, Debug)]
+pub struct QueueMetrics {
+    pushed: CounterId,
+    occupancy: GaugeId,
+    occupancy_hist: HistogramId,
+    peak: GaugeId,
+}
+
+impl QueueMetrics {
+    /// Registers the `queue.<name>.*` keys for the task set `name`.
+    pub fn register(m: &mut MetricsRegistry, name: &str) -> Self {
+        QueueMetrics {
+            pushed: m.counter(&format!("queue.{name}.pushed")),
+            occupancy: m.gauge(&format!("queue.{name}.occupancy")),
+            occupancy_hist: m.histogram(&format!("queue.{name}.occupancy_hist")),
+            peak: m.gauge(&format!("queue.{name}.peak")),
+        }
+    }
+}
 
 /// One task set's multi-bank queue.
 #[derive(Clone, Debug)]
@@ -164,6 +187,16 @@ impl TaskQueue {
             .flat_map(|b| b.iter())
             .map(|t| (t.index, t.seq))
             .min()
+    }
+
+    /// Publishes the per-cycle view into the metrics registry: total
+    /// pushes, occupancy (gauge + histogram), and the peak.
+    pub fn publish(&self, ids: &QueueMetrics, m: &mut MetricsRegistry) {
+        m.set_counter(ids.pushed, self.pushed_total);
+        let occ = self.len() as u64;
+        m.set_gauge(ids.occupancy, occ as f64);
+        m.observe(ids.occupancy_hist, occ);
+        m.set_gauge(ids.peak, self.peak as f64);
     }
 
     /// End-of-cycle commit of all banks.

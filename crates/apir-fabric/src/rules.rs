@@ -11,6 +11,7 @@
 
 use apir_core::expr::EvalCtx;
 use apir_core::rule::{EcaClause, EventPat, RuleAction, RuleDecl, RuleMode};
+use apir_sim::metrics::{CounterId, GaugeId, MetricsRegistry};
 use std::sync::Arc;
 use apir_core::{IndexTuple, MAX_FIELDS};
 use crate::types::EventMsg;
@@ -54,6 +55,33 @@ pub struct RuleEngineStats {
     pub evictions: u64,
     /// Peak simultaneously occupied lanes.
     pub peak_lanes: u64,
+}
+
+/// Handles for one rule engine's stable metric keys (`rule.<name>.*`).
+#[derive(Clone, Copy, Debug)]
+pub struct RuleMetrics {
+    allocs: CounterId,
+    nacks: CounterId,
+    clause_fires: CounterId,
+    otherwise_fires: CounterId,
+    evictions: CounterId,
+    occupied: GaugeId,
+    peak_lanes: GaugeId,
+}
+
+impl RuleMetrics {
+    /// Registers the `rule.<name>.*` keys for the rule `name`.
+    pub fn register(m: &mut MetricsRegistry, name: &str) -> Self {
+        RuleMetrics {
+            allocs: m.counter(&format!("rule.{name}.allocs")),
+            nacks: m.counter(&format!("rule.{name}.nacks")),
+            clause_fires: m.counter(&format!("rule.{name}.clause_fires")),
+            otherwise_fires: m.counter(&format!("rule.{name}.otherwise_fires")),
+            evictions: m.counter(&format!("rule.{name}.evictions")),
+            occupied: m.gauge(&format!("rule.{name}.occupied")),
+            peak_lanes: m.gauge(&format!("rule.{name}.peak_lanes")),
+        }
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -112,6 +140,18 @@ impl RuleEngine {
     /// Occupied lanes.
     pub fn occupied(&self) -> usize {
         self.lanes.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Publishes the per-cycle view into the metrics registry: the
+    /// running `RuleEngineStats` totals plus current lane occupancy.
+    pub fn publish(&self, ids: &RuleMetrics, m: &mut MetricsRegistry) {
+        m.set_counter(ids.allocs, self.stats.allocs);
+        m.set_counter(ids.nacks, self.stats.alloc_stalls);
+        m.set_counter(ids.clause_fires, self.stats.clause_fires);
+        m.set_counter(ids.otherwise_fires, self.stats.otherwise_fires);
+        m.set_counter(ids.evictions, self.stats.evictions);
+        m.set_gauge(ids.occupied, self.occupied() as f64);
+        m.set_gauge(ids.peak_lanes, self.stats.peak_lanes as f64);
     }
 
     /// Allocates a lane for a rule instance, never blocking: if all lanes

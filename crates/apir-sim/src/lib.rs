@@ -17,12 +17,18 @@
 //! * [`bandwidth::BandwidthMeter`] — a credit-based byte-rate limiter (the
 //!   QPI link model);
 //! * [`stats`] — activity tracking (busy/stall/idle) from which pipeline
-//!   utilization rates are computed exactly as in Figure 10 of the paper.
+//!   utilization rates are computed exactly as in Figure 10 of the paper;
+//! * [`metrics`] — the named metrics registry (counters, gauges,
+//!   power-of-two histograms) every fabric component publishes into;
+//! * [`trace`] — the bounded structured event trace behind the
+//!   `apir-trace` renderers.
 
 pub mod bandwidth;
 pub mod delay;
 pub mod fifo;
+pub mod metrics;
 pub mod stats;
+pub mod trace;
 
 /// A simulation timestamp in clock cycles.
 pub type Cycle = u64;

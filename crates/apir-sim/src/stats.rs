@@ -157,6 +157,53 @@ mod tests {
     }
 
     #[test]
+    fn zero_cycle_run_has_no_utilization() {
+        // A fabric that quiesces before any stage ever records: every
+        // divide-by-zero guard must hold.
+        let t = ActivityTracker::new();
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.utilization(), 0.0);
+        let mut s = UtilizationSummary::new();
+        s.add("untouched", t);
+        assert_eq!(s.pipeline_utilization(), 0.0);
+        assert!(s.pipeline_utilization().is_finite());
+    }
+
+    #[test]
+    fn all_idle_tracker_is_zero_not_nan() {
+        let mut t = ActivityTracker::new();
+        for _ in 0..100 {
+            t.record(Activity::Idle);
+        }
+        assert_eq!(t.total(), 100);
+        assert_eq!(t.utilization(), 0.0);
+        let mut s = UtilizationSummary::new();
+        s.add("idle", t);
+        assert_eq!(s.pipeline_utilization(), 0.0);
+    }
+
+    #[test]
+    fn summary_over_zero_trackers_is_zero() {
+        let s = UtilizationSummary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.pipeline_utilization(), 0.0);
+        assert!(s.pipeline_utilization().is_finite());
+        assert_eq!(s.rows().count(), 0);
+    }
+
+    #[test]
+    fn mixed_zero_and_nonzero_trackers_average_cleanly() {
+        // One tracker never ran (total 0): it must contribute 0, not NaN,
+        // to the average.
+        let mut s = UtilizationSummary::new();
+        let mut busy = ActivityTracker::new();
+        busy.record(Activity::Busy);
+        s.add("busy", busy);
+        s.add("never-ran", ActivityTracker::new());
+        assert!((s.pipeline_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
     fn counter_ops() {
         let mut c = Counter::default();
         c.inc();

@@ -1,0 +1,109 @@
+//! Command-line front end for the observability layer.
+//!
+//! ```text
+//! apir-trace run <APP> [--scale tiny|small|medium|large] [--cap N]
+//!                      [--chrome PATH] [--json PATH]
+//! apir-trace list
+//! ```
+//!
+//! `run` synthesizes the accelerator for a builtin app, runs it with the
+//! structured event trace enabled, prints a text summary, and optionally
+//! writes the Chrome-trace rendering (`--chrome`, for `chrome://tracing`
+//! or ui.perfetto.dev) and the machine-readable report (`--json`).
+
+use apir_bench::scale::APP_NAMES;
+use apir_bench::Scale;
+use apir_trace::{chrome_trace, text_summary, traced_run};
+
+const USAGE: &str = "\
+usage: apir-trace <command>
+
+commands:
+  run <APP> [--scale tiny|small|medium|large] [--cap N]
+            [--chrome PATH] [--json PATH]
+      Run one builtin app with event tracing and print a summary.
+      --scale   workload scale (default: tiny)
+      --cap     trace ring capacity in records (default: 65536)
+      --chrome  write the trace as Chrome-trace JSON to PATH
+      --json    write the full report as JSON to PATH
+  list
+      List the builtin app names.
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("apir-trace: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn next_value(args: &mut std::vec::IntoIter<String>, flag: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+}
+
+fn cmd_run(args: Vec<String>) {
+    let mut args = args.into_iter();
+    let Some(app) = args.next() else {
+        fail("run needs an app name");
+    };
+    if !APP_NAMES.contains(&app.as_str()) {
+        fail(&format!("unknown app `{app}` (try `apir-trace list`)"));
+    }
+    let mut scale = Scale::Tiny;
+    let mut cap: usize = 1 << 16;
+    let mut chrome_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = next_value(&mut args, "--scale");
+                scale = Scale::parse(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown scale `{v}`")));
+            }
+            "--cap" => {
+                let v = next_value(&mut args, "--cap");
+                cap = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--cap wants a number, got `{v}`")));
+            }
+            "--chrome" => chrome_path = Some(next_value(&mut args, "--chrome")),
+            "--json" => json_path = Some(next_value(&mut args, "--json")),
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    let report = traced_run(&app, scale, cap.max(1));
+    print!("{}", text_summary(&report));
+    if let Some(path) = chrome_path {
+        let doc = chrome_trace(&report).expect("tracing was enabled");
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("apir-trace: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote Chrome trace: {path}");
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("apir-trace: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote report JSON: {path}");
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        fail("missing command");
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "run" => cmd_run(args),
+        "list" => {
+            for name in APP_NAMES {
+                println!("{name}");
+            }
+        }
+        "help" | "--help" | "-h" => print!("{USAGE}"),
+        other => fail(&format!("unknown command `{other}`")),
+    }
+}

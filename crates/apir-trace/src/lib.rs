@@ -1,0 +1,259 @@
+//! # apir-trace
+//!
+//! Renderers for the fabric's deterministic observability layer:
+//!
+//! * [`text_summary`] — a human-readable digest of a [`FabricReport`]:
+//!   top-line results, the full metrics snapshot (stable keys, sorted),
+//!   and per-component event totals from the structured trace;
+//! * [`chrome_trace`] — the trace as Chrome-trace JSON (load it in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>): pipeline-stage
+//!   busy/stall spans as duration events and everything countable
+//!   (retires, cache hits/misses, queue pushes, rule firings) as counter
+//!   tracks;
+//! * [`traced_run`] — convenience wrapper that synthesizes an
+//!   accelerator for one of the six builtin apps, runs it with tracing
+//!   enabled, and verifies the result.
+//!
+//! Everything renders deterministically: two runs of the same
+//! app/scale/capacity produce byte-identical output (see the canary in
+//! `tests/cross_engine.rs`).
+//!
+//! The `apir-trace` binary exposes these from the command line:
+//!
+//! ```text
+//! apir-trace run SPEC-BFS --scale tiny --chrome out.json
+//! ```
+
+use apir_bench::experiments::{run_verified, synthesized_cfg};
+use apir_bench::Scale;
+use apir_fabric::FabricReport;
+use apir_sim::metrics::MetricValue;
+use apir_sim::stats::Activity;
+use apir_sim::trace::EventTrace;
+use apir_util::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Synthesizes an accelerator for builtin app `name`, runs it with a
+/// trace ring of `trace_capacity` records, verifies the final memory
+/// image, and returns the report.
+///
+/// # Panics
+///
+/// Panics on an unknown app name, a failed run, or a failed check (same
+/// contract as `apir_bench::experiments::run_verified`).
+pub fn traced_run(name: &str, scale: Scale, trace_capacity: usize) -> FabricReport {
+    let mut cfg = synthesized_cfg(name, scale);
+    cfg.trace_capacity = trace_capacity;
+    let (_, report) = run_verified(name, scale, cfg);
+    report
+}
+
+/// Per-component totals of one event kind: `(occurrences, summed value)`.
+type EventTotals = BTreeMap<(String, &'static str), (u64, u64)>;
+
+fn event_totals(trace: &EventTrace) -> EventTotals {
+    let mut totals = EventTotals::new();
+    for r in trace.records() {
+        let key = (trace.component_name(r.comp).to_string(), r.event);
+        let e = totals.entry(key).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += r.value.max(1);
+    }
+    totals
+}
+
+/// Renders a human-readable digest of the report: run results, the full
+/// metrics snapshot, and (when tracing was enabled) per-component event
+/// totals.
+pub fn text_summary(report: &FabricReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== fabric run ==");
+    let _ = writeln!(
+        out,
+        "cycles={} seconds={:.6e} utilization={:.4} primitive_ops={}",
+        report.cycles, report.seconds, report.utilization, report.primitive_ops
+    );
+    let _ = writeln!(
+        out,
+        "retired={:?} squashes={} requeues={} bounces={} extern_calls={}",
+        report.retired, report.squashes, report.requeues, report.bounces, report.extern_calls
+    );
+    let _ = writeln!(
+        out,
+        "mem: reads={} writes={} hits={} misses={} qpi_bytes={}",
+        report.mem.reads, report.mem.writes, report.mem.hits, report.mem.misses,
+        report.mem.qpi_bytes
+    );
+    let _ = writeln!(out, "\n== metrics ({}) ==", report.metrics.entries().len());
+    for (key, value) in report.metrics.entries() {
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "  {key:<40} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "  {key:<40} {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(
+                    out,
+                    "  {key:<40} count={} mean={:.2} max={}",
+                    h.count(),
+                    h.mean(),
+                    h.max()
+                );
+            }
+        }
+    }
+    match &report.trace {
+        None => {
+            let _ = writeln!(out, "\n== trace: disabled ==");
+        }
+        Some(t) => {
+            let _ = writeln!(
+                out,
+                "\n== trace: {} records, {} dropped, {} components ==",
+                t.len(),
+                t.dropped(),
+                t.components().len()
+            );
+            for ((comp, event), (n, sum)) in event_totals(t) {
+                let _ = writeln!(out, "  {comp:<32} {event:<10} x{n} (total {sum})");
+            }
+        }
+    }
+    out
+}
+
+fn activity_of(event: &str) -> Option<Activity> {
+    match event {
+        "busy" => Some(Activity::Busy),
+        "stall" => Some(Activity::Stall),
+        "idle" => Some(Activity::Idle),
+        _ => None,
+    }
+}
+
+fn span_event(name: &str, tid: u32, ts: u64, dur: u64) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("cat", Json::str("activity")),
+        ("ph", Json::str("X")),
+        ("pid", Json::U64(0)),
+        ("tid", Json::U64(u64::from(tid))),
+        ("ts", Json::U64(ts)),
+        ("dur", Json::U64(dur)),
+    ])
+}
+
+/// Renders the report's event trace as Chrome-trace JSON.
+///
+/// Pipeline-stage activity transitions become `"X"` duration events
+/// (busy and stall spans; idle gaps stay empty), every counted event
+/// becomes a `"C"` counter track, and components map to named threads.
+/// One simulated cycle is rendered as one microsecond of trace time.
+///
+/// Returns `None` when the report was produced without tracing.
+pub fn chrome_trace(report: &FabricReport) -> Option<String> {
+    let trace = report.trace.as_ref()?;
+    let mut events: Vec<Json> = Vec::new();
+    // Thread-name metadata: one named row per component.
+    for (i, name) in trace.components().iter().enumerate() {
+        events.push(Json::obj([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::U64(0)),
+            ("tid", Json::U64(i as u64)),
+            ("args", Json::obj([("name", Json::str(name.as_str()))])),
+        ]));
+    }
+    // Open activity span per component: (state, since-cycle).
+    let mut open: Vec<Option<(Activity, u64)>> = vec![None; trace.components().len()];
+    for r in trace.records() {
+        match activity_of(r.event) {
+            Some(state) => {
+                let slot = &mut open[r.comp.0 as usize];
+                if let Some((prev, since)) = slot.take() {
+                    if prev != Activity::Idle && r.cycle > since {
+                        let name = if prev == Activity::Busy { "busy" } else { "stall" };
+                        events.push(span_event(name, r.comp.0, since, r.cycle - since));
+                    }
+                }
+                *slot = Some((state, r.cycle));
+            }
+            None => {
+                events.push(Json::obj([
+                    ("name", Json::str(r.event)),
+                    ("ph", Json::str("C")),
+                    ("pid", Json::U64(0)),
+                    ("tid", Json::U64(u64::from(r.comp.0))),
+                    ("ts", Json::U64(r.cycle)),
+                    ("args", Json::obj([(r.event, Json::U64(r.value))])),
+                ]));
+            }
+        }
+    }
+    // Close spans still open at the end of the run.
+    for (i, slot) in open.iter().enumerate() {
+        if let Some((state, since)) = slot {
+            if *state != Activity::Idle && report.cycles > *since {
+                let name = if *state == Activity::Busy { "busy" } else { "stall" };
+                events.push(span_event(name, i as u32, *since, report.cycles - since));
+            }
+        }
+    }
+    let doc = Json::obj([
+        ("displayTimeUnit", Json::str("ms")),
+        ("traceEvents", Json::Arr(events)),
+    ]);
+    Some(doc.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bfs_report() -> FabricReport {
+        traced_run("SPEC-BFS", Scale::Tiny, 1 << 14)
+    }
+
+    #[test]
+    fn traced_run_produces_trace_and_summary() {
+        let r = bfs_report();
+        let t = r.trace.as_ref().expect("tracing enabled");
+        assert!(!t.is_empty());
+        let summary = text_summary(&r);
+        assert!(summary.contains("fabric.cycles"));
+        assert!(summary.contains("== trace:"));
+        assert!(summary.contains("retire"));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_deterministic_json() {
+        let r = bfs_report();
+        let a = chrome_trace(&r).expect("tracing enabled");
+        let b = chrome_trace(&r).expect("tracing enabled");
+        assert_eq!(a, b, "same report must render identically");
+        let doc = apir_util::json::parse(&a).expect("valid JSON");
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!evs.is_empty());
+        // Every event carries the Chrome-trace required keys.
+        for e in evs {
+            assert!(e.get("ph").unwrap().as_str().is_some());
+            assert!(e.get("pid").unwrap().as_u64().is_some());
+        }
+        // There is at least one busy span and one counter sample.
+        assert!(evs.iter().any(|e| e.get("ph").unwrap().as_str() == Some("X")));
+        assert!(evs.iter().any(|e| e.get("ph").unwrap().as_str() == Some("C")));
+    }
+
+    #[test]
+    fn untraced_report_renders_no_chrome_trace() {
+        let mut cfg = synthesized_cfg("SPEC-BFS", Scale::Tiny);
+        cfg.trace_capacity = 0;
+        let (_, r) = run_verified("SPEC-BFS", Scale::Tiny, cfg);
+        assert!(r.trace.is_none());
+        assert!(chrome_trace(&r).is_none());
+        assert!(text_summary(&r).contains("trace: disabled"));
+    }
+}

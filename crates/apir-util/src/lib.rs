@@ -13,15 +13,20 @@
 //! * [`bench`] — a wall-clock benchmark harness with criterion-shaped
 //!   `group` / `bench_function` / `iter` surface and a
 //!   [`bench_main!`](crate::bench_main) entry macro (replaces `criterion`
-//!   for the two `apir-bench` benches).
+//!   for the two `apir-bench` benches);
+//! * [`json`] — a deterministic JSON value/writer/parser used by the
+//!   observability layer (`FabricReport::to_json`, `BENCH_fabric.json`,
+//!   Chrome traces) in place of `serde_json`.
 //!
 //! Everything here is deterministic: the same seed always yields the same
 //! sequence on every platform, which is what makes the experiment results
 //! and property-test failures reproducible offline.
 
 pub mod bench;
+pub mod json;
 pub mod prop;
 pub mod rng;
 
+pub use json::Json;
 pub use prop::Gen;
 pub use rng::SmallRng;

@@ -15,6 +15,14 @@ cargo test -q --workspace --offline
 echo "==> apir-lint over the builtin benchmark specs"
 cargo run -q --release --offline -p apir-check --bin apir-lint
 
+echo "==> bench baseline smoke (tiny scale; schema + determinism checked by the emitter)"
+cargo run -q --release --offline -p apir-bench --bin figures -- bench
+if ! git diff --exit-code -- BENCH_fabric.json; then
+  echo "ERROR: BENCH_fabric.json drifted from the committed baseline." >&2
+  echo "If the microarchitectural change is intentional, commit the regenerated file." >&2
+  exit 1
+fi
+
 echo "==> asserting the dependency graph is apir-only"
 external=$(cargo tree --offline --workspace --edges normal,build,dev --prefix none \
   | sed 's/ (\*)$//' | awk 'NF {print $1}' | sort -u | grep -v '^apir' || true)

@@ -1,10 +1,12 @@
 //! Facade crate re-exporting the APIR framework.
 pub use apir_apps as apps;
+pub use apir_bench as bench;
 pub use apir_check as check;
 pub use apir_core as core;
 pub use apir_fabric as fabric;
 pub use apir_runtime as runtime;
 pub use apir_sim as sim;
 pub use apir_synth as synth;
+pub use apir_trace as trace;
 pub use apir_util as util;
 pub use apir_workloads as workloads;

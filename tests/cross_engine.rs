@@ -3,16 +3,108 @@
 //! software runtime, cycle-level fabric), across scales and seeds.
 
 use apir::apps::{bfs, lu, mst, sssp};
+use apir::bench::experiments::{scale_cache, synthesized_cfg};
+use apir::bench::scale::{build_app, APP_NAMES};
+use apir::bench::Scale;
 use apir::core::interp::SeqInterp;
+use apir::core::MemAccess;
 use apir::fabric::{Fabric, FabricConfig};
 use apir::runtime::{ParConfig, ParRunner};
-use apir::core::MemAccess;
 use apir::workloads::gen;
 use apir::workloads::sparse::BlockPattern;
 use std::sync::Arc;
 
 fn fabric_cfg() -> FabricConfig {
     FabricConfig::default()
+}
+
+/// The synthesized + tuned configuration a benchmark runs under.
+fn app_cfg(name: &str, app: &apir::apps::AppInstance) -> FabricConfig {
+    let mut cfg = synthesized_cfg(name, Scale::Tiny);
+    scale_cache(&mut cfg, &app.input);
+    (app.tune)(&mut cfg);
+    cfg
+}
+
+/// Union-find partition equivalence: same connectivity, any tree shape.
+fn same_partition(a: &apir::core::MemImage, b: &apir::core::MemImage, n: u64) {
+    let parent = apir::core::spec::RegionId(0);
+    let find = |mem: &apir::core::MemImage, mut x: u64| {
+        while mem.read(parent, x) != x {
+            x = mem.read(parent, x);
+        }
+        x
+    };
+    for i in 0..n {
+        for j in (i + 1)..n {
+            assert_eq!(
+                find(a, i) == find(a, j),
+                find(b, i) == find(b, j),
+                "partition mismatch at ({i},{j})"
+            );
+        }
+    }
+}
+
+#[test]
+fn six_apps_interp_vs_fabric_final_memory() {
+    // Every builtin benchmark, sequential interpreter vs cycle-level
+    // fabric, on the exact configuration the bench baseline uses.
+    //
+    // Where the final image is order-independent the comparison is exact
+    // word-for-word equality. Two apps have legitimately order-dependent
+    // images and get their documented weaker equivalence instead:
+    //   * SPEC-MST — commits serialize in weight order so the MST flags
+    //     match, but the union-find *shape* depends on which finds ran
+    //     before which commits; only the partition must agree;
+    //   * SPEC-DMR — which point a cavity's re-triangulation inserts
+    //     depends on commit order; the checker verifies the resulting
+    //     mesh (conforming, no remaining bad triangles) for both engines.
+    for name in APP_NAMES {
+        let app = build_app(name, Scale::Tiny);
+        let seq = SeqInterp::run(&app.spec, &app.input).unwrap();
+        (app.check)(&seq.mem).unwrap_or_else(|e| panic!("{name} interp: {e}"));
+        let fab = Fabric::new(&app.spec, &app.input, app_cfg(name, &app))
+            .run()
+            .unwrap_or_else(|e| panic!("{name} fabric: {e}"));
+        (app.check)(&fab.mem_image).unwrap_or_else(|e| panic!("{name} fabric: {e}"));
+        match name {
+            "SPEC-MST" => {
+                let n = app.input.mem.capacity(apir::core::spec::RegionId(0));
+                same_partition(&seq.mem, &fab.mem_image, n as u64);
+            }
+            "SPEC-DMR" => {} // checker-only (see above)
+            _ => {
+                assert_eq!(
+                    seq.mem, fab.mem_image,
+                    "{name}: final images differ: {:?}",
+                    seq.mem.diff(&fab.mem_image, 8)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn six_apps_fabric_report_json_is_deterministic() {
+    // The determinism canary: two identical fabric runs must serialize
+    // to byte-identical JSON (this is what makes BENCH_fabric.json and
+    // the report goldens reproducible).
+    for name in APP_NAMES {
+        let app = build_app(name, Scale::Tiny);
+        let cfg = app_cfg(name, &app);
+        let a = Fabric::new(&app.spec, &app.input, cfg.clone())
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let b = Fabric::new(&app.spec, &app.input, cfg)
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "{name}: re-run produced a different report"
+        );
+    }
 }
 
 #[test]

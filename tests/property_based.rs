@@ -152,6 +152,62 @@ props! {
         assert!((app.check)(&fab.mem_image).is_ok());
     }
 
+    /// Conservation invariants of the observability layer, for any input
+    /// seed and pipeline/bank mix:
+    ///  * at quiescence, every task ever pushed has retired (squashed
+    ///    tokens still flow to the pipeline tail and retire, so squashes
+    ///    are a subset of retirements, not an extra term);
+    ///  * every pipeline stage's activity tracker accounts for exactly
+    ///    busy + stall + idle == cycles;
+    ///  * every occupancy histogram has one observation per cycle, and
+    ///    its bucket counts sum to its observation count;
+    ///  * trace record cycles are monotone non-decreasing.
+    fn fabric_conservation_invariants(g) {
+        use apir::sim::metrics::MetricValue;
+        let seed = g.gen_range(0u64..1000);
+        let npipes = g.gen_range(1usize..3);
+        let banks = g.gen_range(1usize..4);
+        let variant = if g.gen_bool(0.5) {
+            apir::apps::bfs::BfsVariant::Spec
+        } else {
+            apir::apps::bfs::BfsVariant::Coor
+        };
+        let graph = std::sync::Arc::new(gen::road_network(6, 6, 0.85, 4, seed));
+        let app = apir::apps::bfs::build(graph, 0, variant);
+        let cfg = FabricConfig {
+            pipelines_per_set: npipes,
+            queue_banks: banks,
+            trace_capacity: 1 << 14,
+            ..FabricConfig::default()
+        };
+        let r = Fabric::new(&app.spec, &app.input, cfg).run().unwrap();
+        let pushed: u64 = r
+            .metrics
+            .entries()
+            .iter()
+            .filter(|(k, _)| k.starts_with("queue.") && k.ends_with(".pushed"))
+            .map(|(k, _)| r.metrics.counter(k).unwrap())
+            .sum();
+        assert_eq!(pushed, r.total_retired(), "pushed vs retired at quiescence");
+        assert!(r.squashes <= r.total_retired(), "squash is a kind of retire");
+        for (name, t) in r.activity.rows() {
+            assert_eq!(t.total(), r.cycles, "stage {name} misses cycles");
+        }
+        for (k, v) in r.metrics.entries() {
+            if let MetricValue::Histogram(h) = v {
+                let bucket_sum: u64 = h.nonzero_buckets().map(|(_, n)| n).sum();
+                assert_eq!(h.count(), bucket_sum, "{k}: bucket sum");
+                assert_eq!(h.count(), r.cycles, "{k}: one observation per cycle");
+            }
+        }
+        let trace = r.trace.as_ref().expect("tracing enabled");
+        let mut last = 0u64;
+        for rec in trace.records() {
+            assert!(rec.cycle >= last, "trace went backwards");
+            last = rec.cycle;
+        }
+    }
+
     /// Commutative fetch-and-add workloads give identical images on the
     /// fabric regardless of configuration.
     fn fabric_faa_deterministic(g) {

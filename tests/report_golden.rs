@@ -1,0 +1,99 @@
+//! Report goldens: exact counter values per benchmark at the pinned
+//! baseline scale.
+//!
+//! The fabric is a deterministic simulator over seeded workload
+//! generators, so every counter in a run's report is a pure function of
+//! the code. These goldens pin that function: an intentional change to
+//! the microarchitecture (scheduling, cache, allocator...) will shift
+//! them — update the table and say why in the commit — while an
+//! *unintentional* divergence (a nondeterministic HashMap iteration, an
+//! uninitialized latch, a platform-dependent float path) fails here
+//! first, long before it would corrupt a figure.
+//!
+//! Regenerate the table with:
+//! `cargo run --release -p apir-bench --bin figures -- bench`
+//! plus the `requeues`/`bounces` columns from
+//! `apir-trace run <APP> --scale tiny`.
+
+use apir::bench::experiments::{scale_cache, synthesized_cfg};
+use apir::bench::scale::build_app;
+use apir::bench::Scale;
+use apir::fabric::{Fabric, FabricReport};
+
+struct Golden {
+    cycles: u64,
+    retired: u64,
+    squashes: u64,
+    requeues: u64,
+    bounces: u64,
+    mem_hits: u64,
+    mem_misses: u64,
+    utilization: f64,
+}
+
+/// One verified fabric run at the pinned baseline configuration.
+fn baseline_run(name: &str) -> FabricReport {
+    let app = build_app(name, Scale::Tiny);
+    let mut cfg = synthesized_cfg(name, Scale::Tiny);
+    scale_cache(&mut cfg, &app.input);
+    (app.tune)(&mut cfg);
+    let report = Fabric::new(&app.spec, &app.input, cfg)
+        .run()
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    (app.check)(&report.mem_image).unwrap_or_else(|e| panic!("{name}: {e}"));
+    report
+}
+
+const GOLDENS: [(&str, Golden); 6] = [
+    ("SPEC-BFS", Golden { cycles: 1696, retired: 276, squashes: 0, requeues: 0, bounces: 0, mem_hits: 435, mem_misses: 117, utilization: 0.014449104845626072 }),
+    ("COOR-BFS", Golden { cycles: 2990, retired: 276, squashes: 0, requeues: 0, bounces: 0, mem_hits: 420, mem_misses: 132, utilization: 0.006979614588310242 }),
+    ("SPEC-SSSP", Golden { cycles: 2772, retired: 1051, squashes: 1, requeues: 0, bounces: 0, mem_hits: 1679, mem_misses: 949, utilization: 0.028501328217237318 }),
+    ("SPEC-MST", Golden { cycles: 101073, retired: 1755, squashes: 1320, requeues: 1635, bounces: 247, mem_hits: 3505, mem_misses: 5, utilization: 0.004630408311411144 }),
+    ("SPEC-DMR", Golden { cycles: 1050, retired: 15, squashes: 1, requeues: 1, bounces: 0, mem_hits: 1, mem_misses: 14, utilization: 0.002063492063492066 }),
+    ("COOR-LU", Golden { cycles: 81, retired: 6, squashes: 0, requeues: 0, bounces: 0, mem_hits: 0, mem_misses: 0, utilization: 0.013888888888888888 }),
+];
+
+#[test]
+fn reports_match_goldens_exactly() {
+    for (name, g) in &GOLDENS {
+        let r = baseline_run(name);
+        assert_eq!(r.cycles, g.cycles, "{name}: cycles");
+        assert_eq!(r.total_retired(), g.retired, "{name}: retired");
+        assert_eq!(r.squashes, g.squashes, "{name}: squashes");
+        assert_eq!(r.requeues, g.requeues, "{name}: requeues");
+        assert_eq!(r.bounces, g.bounces, "{name}: bounces");
+        assert_eq!(r.mem.hits, g.mem_hits, "{name}: mem.hits");
+        assert_eq!(r.mem.misses, g.mem_misses, "{name}: mem.misses");
+        assert!(
+            (r.utilization - g.utilization).abs() < 1e-12,
+            "{name}: utilization {} != {}",
+            r.utilization,
+            g.utilization
+        );
+    }
+}
+
+#[test]
+fn metrics_registry_agrees_with_report_fields() {
+    // The registry is a second bookkeeping path for the same events; the
+    // stable keys must agree with the legacy report fields on every app.
+    for (name, _) in &GOLDENS {
+        let r = baseline_run(name);
+        let m = &r.metrics;
+        assert_eq!(m.counter("fabric.cycles"), Some(r.cycles), "{name}");
+        assert_eq!(m.counter("fabric.squashes"), Some(r.squashes), "{name}");
+        assert_eq!(m.counter("fabric.requeues"), Some(r.requeues), "{name}");
+        assert_eq!(m.counter("fabric.bounces"), Some(r.bounces), "{name}");
+        assert_eq!(m.counter("mem.hits"), Some(r.mem.hits), "{name}");
+        assert_eq!(m.counter("mem.misses"), Some(r.mem.misses), "{name}");
+        let util = m.gauge("fabric.utilization").unwrap();
+        assert!((util - r.utilization).abs() < 1e-12, "{name}: gauge");
+        let retired_keys: u64 = m
+            .entries()
+            .iter()
+            .filter(|(k, _)| k.starts_with("fabric.retired."))
+            .map(|(k, _)| m.counter(k).unwrap())
+            .sum();
+        assert_eq!(retired_keys, r.total_retired(), "{name}: retired keys");
+    }
+}
