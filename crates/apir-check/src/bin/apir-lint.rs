@@ -5,15 +5,17 @@
 //! ```
 //!
 //! With no `APP` arguments, lints every builtin benchmark spec (SPEC-BFS,
-//! COOR-BFS, SPEC-SSSP, SPEC-MST, SPEC-DMR, COOR-LU). Exits `1` if any
-//! analyzed spec has an error-level diagnostic (`--strict` also fails on
-//! warnings), `2` on usage errors.
+//! COOR-BFS, SPEC-SSSP, SPEC-MST, SPEC-DMR, COOR-LU) plus the builtin
+//! fabric configurations (APIR5xx family: zero resources, misordered
+//! watchdog, out-of-range fault rates, degenerate fault plans). Exits `1`
+//! if any analyzed subject has an error-level diagnostic (`--strict` also
+//! fails on warnings), `2` on usage errors.
 //!
 //! * `--machine` — one pipe-separated line per diagnostic
 //!   (`CODE|severity|subject|entity|message|hint`) instead of text.
 //! * `--codes` — print the table of stable diagnostic codes and exit.
 
-use apir_check::{builtin_apps, check_all, Lint, Severity};
+use apir_check::{builtin_apps, builtin_fabric_configs, check_all, Lint, Severity};
 
 fn main() {
     let mut machine = false;
@@ -63,8 +65,16 @@ fn main() {
     };
 
     let mut failed = false;
-    for (_, spec) in &selected {
-        let report = check_all(spec);
+    let mut reports: Vec<apir_check::Report> =
+        selected.iter().map(|(_, spec)| check_all(spec)).collect();
+    // With no explicit app selection, also validate the builtin fabric
+    // configurations (APIR5xx family).
+    if names.is_empty() {
+        for (_, cfg) in builtin_fabric_configs() {
+            reports.push(cfg.validate());
+        }
+    }
+    for report in &reports {
         if machine {
             print!("{}", report.render_machine());
         } else {

@@ -62,6 +62,22 @@ pub fn check_builtin(name: &str) -> Option<Report> {
         .map(|(_, spec)| check_all(&spec))
 }
 
+/// Representative fabric configurations `apir-lint` validates alongside
+/// the builtin specs: the HARP-default fabric and the chaos
+/// fault-injection preset. Both are held at zero APIR5xx diagnostics —
+/// the configuration analog of the builtin specs staying lint-clean.
+pub fn builtin_fabric_configs() -> Vec<(String, apir_fabric::FabricConfig)> {
+    use apir_fabric::{FabricConfig, FaultConfig};
+    let chaos = FabricConfig {
+        faults: FaultConfig::chaos(0),
+        ..FabricConfig::default()
+    };
+    vec![
+        ("fabric:default".to_string(), FabricConfig::default()),
+        ("fabric:chaos".to_string(), chaos),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

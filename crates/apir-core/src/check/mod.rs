@@ -19,6 +19,7 @@
 //! | `APIR2xx` | BDFG well-formedness (channels, reachability, token balance, cycles) |
 //! | `APIR3xx` | interface contracts (arities, labels, externs) |
 //! | `APIR4xx` | memory hazards (spec-level race detection for speculation) |
+//! | `APIR5xx` | fabric configuration sanity (structural resources, watchdog ordering, fault rates) |
 //!
 //! [`Spec::build`](crate::spec::Spec::build) and
 //! [`Bdfg::validate`](crate::bdfg::Bdfg::validate) are thin wrappers over
@@ -132,6 +133,19 @@ pub enum Lint {
     /// unit (StoreMin/CAS/fetch-add) or issued by one op racing itself;
     /// benign by construction but worth knowing.
     ArbitratedRace,
+    /// `APIR501` — a structural fabric resource is zero (queue banks,
+    /// queue capacity, pipelines, station windows, event-bus width): the
+    /// accelerator cannot move a single token.
+    ZeroFabricResource,
+    /// `APIR502` — `rendezvous_timeout >= deadlock_cycles`: the bounce
+    /// path can never fire before the watchdog declares deadlock, so
+    /// station-full stalls are unrecoverable.
+    WatchdogMisordered,
+    /// `APIR503` — a fault-injection rate is outside `[0, 1]` or NaN.
+    FaultRateOutOfRange,
+    /// `APIR504` — fault injection enabled with a degenerate plan (zero
+    /// fault window, or drops enabled with a zero retry timeout).
+    DegenerateFaultPlan,
 }
 
 impl Lint {
@@ -163,6 +177,10 @@ impl Lint {
             Lint::StoreStoreRace => "APIR401",
             Lint::LoadStoreRace => "APIR402",
             Lint::ArbitratedRace => "APIR403",
+            Lint::ZeroFabricResource => "APIR501",
+            Lint::WatchdogMisordered => "APIR502",
+            Lint::FaultRateOutOfRange => "APIR503",
+            Lint::DegenerateFaultPlan => "APIR504",
         }
     }
 
@@ -184,7 +202,11 @@ impl Lint {
             | Lint::EnqueueArityMismatch
             | Lint::RuleParamArityMismatch
             | Lint::UnemittedLabel
-            | Lint::StoreStoreRace => Severity::Error,
+            | Lint::StoreStoreRace
+            | Lint::ZeroFabricResource
+            | Lint::WatchdogMisordered
+            | Lint::FaultRateOutOfRange
+            | Lint::DegenerateFaultPlan => Severity::Error,
             Lint::UnguardedRequeue
             | Lint::CountdownWithoutInit
             | Lint::DuplicateEdge
@@ -225,6 +247,10 @@ impl Lint {
             Lint::StoreStoreRace => "unguarded store/store race on a region",
             Lint::LoadStoreRace => "unguarded load/store race on a region",
             Lint::ArbitratedRace => "concurrent access arbitrated by an atomic commit unit",
+            Lint::ZeroFabricResource => "fabric config with a zero structural resource",
+            Lint::WatchdogMisordered => "rendezvous timeout not below the deadlock window",
+            Lint::FaultRateOutOfRange => "fault injection rate outside [0, 1]",
+            Lint::DegenerateFaultPlan => "fault injection enabled with a degenerate plan",
         }
     }
 
@@ -256,6 +282,10 @@ impl Lint {
             Lint::StoreStoreRace,
             Lint::LoadStoreRace,
             Lint::ArbitratedRace,
+            Lint::ZeroFabricResource,
+            Lint::WatchdogMisordered,
+            Lint::FaultRateOutOfRange,
+            Lint::DegenerateFaultPlan,
         ]
     }
 }

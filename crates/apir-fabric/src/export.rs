@@ -10,6 +10,7 @@
 //! excluded; the trace appears only as a summary.
 
 use crate::fabric::FabricReport;
+use crate::fault::FaultStats;
 use crate::memory::MemStats;
 use crate::rules::RuleEngineStats;
 use apir_sim::metrics::{Histogram, MetricValue, MetricsSnapshot};
@@ -59,6 +60,24 @@ fn mem_json(m: &MemStats) -> Json {
     ])
 }
 
+fn faults_json(f: &FaultStats) -> Json {
+    Json::obj([
+        ("soft_injected", Json::U64(f.soft_injected)),
+        ("soft_corrected", Json::U64(f.soft_corrected)),
+        ("soft_refetched", Json::U64(f.soft_refetched)),
+        ("link_dropped", Json::U64(f.link_dropped)),
+        ("link_late", Json::U64(f.link_late)),
+        ("link_retried", Json::U64(f.link_retried)),
+        ("link_escalated", Json::U64(f.link_escalated)),
+        ("lanes_masked", Json::U64(f.lanes_masked)),
+        ("lanes_drained", Json::U64(f.lanes_drained)),
+        ("banks_masked", Json::U64(f.banks_masked)),
+        ("banks_drained", Json::U64(f.banks_drained)),
+        ("watchdog_escalations", Json::U64(f.watchdog_escalations)),
+        ("watchdog_flushed", Json::U64(f.watchdog_flushed)),
+    ])
+}
+
 fn rule_json(r: &RuleEngineStats) -> Json {
     Json::obj([
         ("allocs", Json::U64(r.allocs)),
@@ -100,6 +119,7 @@ impl FabricReport {
                 Json::arr(self.queue_peaks.iter().map(|&p| Json::U64(p as u64))),
             ),
             ("mem", mem_json(&self.mem)),
+            ("faults", faults_json(&self.faults)),
             ("rules", Json::arr(self.rules.iter().map(rule_json))),
             ("metrics", metrics_json(&self.metrics)),
             ("trace", trace),
@@ -136,6 +156,7 @@ mod tests {
             retirements: Vec::new(),
             metrics: MetricsSnapshot::default(),
             activity: UtilizationSummary::new(),
+            faults: FaultStats::default(),
             trace: None,
         }
     }

@@ -11,6 +11,7 @@
 //! act on the real [`apir_core::MemImage`] at completion, so the final
 //! image can be compared against the sequential interpreter.
 
+use crate::fault::{FaultMetrics, FaultPlan, FaultStats};
 use crate::memory::{MemMetrics, MemStats, MemorySubsystem};
 use crate::queue::{QueueMetrics, TaskQueue};
 use crate::rules::{ClaimOutcome, RuleEngine, RuleEngineStats, RuleMetrics};
@@ -28,18 +29,39 @@ use apir_sim::trace::{CompId, EventTrace};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
-/// Simulation failure.
+/// Simulation failure. The runtime variants carry the partial
+/// [`FabricReport`] at the point of failure (metrics, trace, memory
+/// image, diagnostics) so a failed campaign can still be post-mortemed
+/// with the same tooling as a successful run.
 #[derive(Debug)]
 pub enum FabricError {
-    /// No forward progress for the configured window.
+    /// No forward progress for the configured window, even after the
+    /// watchdog escalation (forced `otherwise` + station flush).
     Deadlock {
         /// Cycle at which deadlock was declared.
         cycle: u64,
         /// Human-readable state summary.
         diagnostics: String,
+        /// State of the fabric when the deadlock was declared.
+        report: Box<FabricReport>,
     },
     /// The run exceeded `max_cycles`.
-    MaxCycles(u64),
+    MaxCycles {
+        /// The cycle limit that was hit.
+        cycle: u64,
+        /// State of the fabric when the limit was hit.
+        report: Box<FabricReport>,
+    },
+    /// A QPI transfer was dropped more than `faults.max_retries` times
+    /// (only possible under an injected-fault campaign).
+    LinkFailed {
+        /// Cycle of the final drop.
+        cycle: u64,
+        /// Human-readable failure summary.
+        diagnostics: String,
+        /// State of the fabric when the link was declared failed.
+        report: Box<FabricReport>,
+    },
     /// The static analyzer found error-level diagnostics in the spec; the
     /// fabric refuses to simulate a graph it knows is broken.
     RejectedByLint {
@@ -48,13 +70,33 @@ pub enum FabricError {
     },
 }
 
+impl FabricError {
+    /// The partial report captured at the failure point, when there is
+    /// one (`RejectedByLint` fails before the first cycle).
+    pub fn partial_report(&self) -> Option<&FabricReport> {
+        match self {
+            FabricError::Deadlock { report, .. }
+            | FabricError::MaxCycles { report, .. }
+            | FabricError::LinkFailed { report, .. } => Some(report),
+            FabricError::RejectedByLint { .. } => None,
+        }
+    }
+}
+
 impl fmt::Display for FabricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FabricError::Deadlock { cycle, diagnostics } => {
+            FabricError::Deadlock {
+                cycle, diagnostics, ..
+            } => {
                 write!(f, "deadlock at cycle {cycle}: {diagnostics}")
             }
-            FabricError::MaxCycles(c) => write!(f, "exceeded max cycles ({c})"),
+            FabricError::MaxCycles { cycle, .. } => write!(f, "exceeded max cycles ({cycle})"),
+            FabricError::LinkFailed {
+                cycle, diagnostics, ..
+            } => {
+                write!(f, "link failed at cycle {cycle}: {diagnostics}")
+            }
             FabricError::RejectedByLint { report } => {
                 write!(f, "spec rejected by static analysis:\n{report}")
             }
@@ -100,6 +142,9 @@ pub struct FabricReport {
     pub metrics: MetricsSnapshot,
     /// Per-primitive-operation busy/stall/idle totals.
     pub activity: UtilizationSummary,
+    /// Fault-injection and recovery totals (all zero on a fault-free
+    /// run; also exported as the `fault.*` metric keys).
+    pub faults: FaultStats,
     /// The structured event trace, when `trace_capacity > 0`.
     pub trace: Option<EventTrace>,
 }
@@ -124,6 +169,7 @@ struct FabricMetricIds {
     queues: Vec<QueueMetrics>,
     mem: MemMetrics,
     rules: Vec<RuleMetrics>,
+    faults: FaultMetrics,
 }
 
 impl FabricMetricIds {
@@ -151,6 +197,7 @@ impl FabricMetricIds {
                 .iter()
                 .map(|r| RuleMetrics::register(m, &r.name))
                 .collect(),
+            faults: FaultMetrics::register(m),
         }
     }
 }
@@ -162,6 +209,7 @@ struct TickSnap {
     pushed: Vec<u64>,
     rules: Vec<RuleEngineStats>,
     seeds_pending: usize,
+    faults: FaultStats,
 }
 
 struct Stage {
@@ -240,6 +288,16 @@ pub struct Fabric {
     requeues: u64,
     bounces: u64,
     retire_log: Vec<(u64, usize)>,
+    /// Watchdog escalations performed (forced `otherwise` + flush).
+    wd_escalations: u64,
+    /// Reservation-station entries flushed by watchdog escalation.
+    wd_flushes: u64,
+    /// An escalation already ran for the current no-progress window;
+    /// the next expiry is a real deadlock.
+    escalated: bool,
+    /// Tokens drained from fault-masked queue banks awaiting respill
+    /// onto the surviving banks (they stay in `live` throughout).
+    fault_respill: VecDeque<(usize, TaskToken)>,
     /// Rendered lint report when the analyzer found error-level findings;
     /// [`Fabric::run`] refuses to start while this is set.
     lint_errors: Option<String>,
@@ -248,6 +306,7 @@ pub struct Fabric {
     trace: Option<EventTrace>,
     tr_host: CompId,
     tr_mem: CompId,
+    tr_fault: CompId,
     tr_queues: Vec<CompId>,
     tr_rules: Vec<CompId>,
 }
@@ -261,12 +320,17 @@ impl Fabric {
     /// Panics if the spec was not validated.
     pub fn new(spec: &Spec, input: &ProgramInput, cfg: FabricConfig) -> Self {
         assert!(spec.is_validated(), "spec must be validated");
-        let mem = MemorySubsystem::new(cfg.mem.clone(), input.mem.clone());
+        let mem = MemorySubsystem::with_faults(cfg.mem.clone(), input.mem.clone(), &cfg.faults);
+        // A degenerate config is rejected by the lint gate at `run`;
+        // clamp the structural parameters so construction itself cannot
+        // panic before the gate reports the real diagnostics.
+        let banks = cfg.queue_banks.max(1);
+        let capacity = cfg.queue_capacity.max(banks);
         let queues: Vec<TaskQueue> = spec
             .task_sets()
             .iter()
             .map(|t| {
-                let mut q = TaskQueue::new(t.kind, t.level, cfg.queue_banks, cfg.queue_capacity);
+                let mut q = TaskQueue::new(t.kind, t.level, banks, capacity);
                 // Upper bound on contexts a task set's pipelines can hold
                 // (latches + every station slot): reserve that much for
                 // recirculation so requeue can never deadlock.
@@ -290,6 +354,7 @@ impl Fabric {
         };
         let tr_host = intern("host");
         let tr_mem = intern("mem");
+        let tr_fault = intern("fault");
         let tr_queues: Vec<CompId> = spec
             .task_sets()
             .iter()
@@ -357,9 +422,11 @@ impl Fabric {
             .iter()
             .map(|t| (t.task_set, to_fields(&t.fields)))
             .collect();
-        // Full static-analysis pass (spec + BDFG families): the fabric
-        // refuses at `run` to simulate a spec with error-level findings.
-        let lint = apir_core::check::check_all(spec);
+        // Full static-analysis pass (spec + BDFG families) plus the
+        // fabric-config sanity lints (`APIR5xx`): the fabric refuses at
+        // `run` to simulate a graph or a configuration it knows is broken.
+        let mut lint = apir_core::check::check_all(spec);
+        lint.merge(cfg.validate());
         let lint_errors = lint.has_errors().then(|| lint.render_text());
         Fabric {
             retired: vec![0; spec.task_sets().len()],
@@ -384,12 +451,17 @@ impl Fabric {
             requeues: 0,
             bounces: 0,
             retire_log: Vec::new(),
+            wd_escalations: 0,
+            wd_flushes: 0,
+            escalated: false,
+            fault_respill: VecDeque::new(),
             lint_errors,
             metrics,
             mids,
             trace,
             tr_host,
             tr_mem,
+            tr_fault,
             tr_queues,
             tr_rules,
         }
@@ -400,26 +472,59 @@ impl Fabric {
     /// # Errors
     ///
     /// [`FabricError::RejectedByLint`] when the static analyzer found
-    /// error-level diagnostics in the spec;
+    /// error-level diagnostics in the spec or its configuration;
     /// [`FabricError::Deadlock`] when nothing makes progress for the
-    /// configured window; [`FabricError::MaxCycles`] on timeout.
+    /// configured window and the watchdog escalation (forced `otherwise`
+    /// for the minimum live task plus a rendezvous-station flush) also
+    /// fails to restart it; [`FabricError::LinkFailed`] when an injected
+    /// link-fault campaign exhausts a transfer's retry budget;
+    /// [`FabricError::MaxCycles`] on timeout. All runtime errors carry
+    /// the partial [`FabricReport`] for post-mortem.
     pub fn run(mut self) -> Result<FabricReport, FabricError> {
         if let Some(report) = self.lint_errors.take() {
             return Err(FabricError::RejectedByLint { report });
         }
         loop {
             self.tick();
+            if let Some(lf) = self.mem.link_failure() {
+                let cycle = self.cycle;
+                let diagnostics = format!(
+                    "transfer tag {} on port {} dropped {} times (retries exhausted); {}",
+                    lf.tag,
+                    lf.port,
+                    lf.retries + 1,
+                    self.diagnostics()
+                );
+                return Err(FabricError::LinkFailed {
+                    cycle,
+                    diagnostics,
+                    report: Box::new(self.into_report()),
+                });
+            }
             if self.is_done() {
                 return Ok(self.into_report());
             }
             if self.cycle >= self.cfg.max_cycles {
-                return Err(FabricError::MaxCycles(self.cycle));
+                let cycle = self.cycle;
+                return Err(FabricError::MaxCycles {
+                    cycle,
+                    report: Box::new(self.into_report()),
+                });
             }
             if self.cycle - self.last_progress > self.cfg.deadlock_cycles {
+                if !self.escalated {
+                    // The paper's liveness lever, pulled early: force the
+                    // minimum waiting task's `otherwise` and flush the
+                    // rendezvous stations before declaring defeat.
+                    self.escalate_watchdog();
+                    continue;
+                }
+                let cycle = self.cycle;
                 let diagnostics = self.diagnostics();
                 return Err(FabricError::Deadlock {
-                    cycle: self.cycle,
+                    cycle,
                     diagnostics,
+                    report: Box::new(self.into_report()),
                 });
             }
         }
@@ -429,7 +534,61 @@ impl Fabric {
         self.live.is_empty()
             && self.seed_backlog.is_empty()
             && self.pending_tasks.is_empty()
+            && self.fault_respill.is_empty()
             && self.mem.is_idle()
+    }
+
+    /// Last-resort liveness escalation, run when the progress watchdog
+    /// is about to expire: force-release the minimum live task's rule
+    /// lanes with their `otherwise` verdicts, then bounce every entry
+    /// waiting in a rendezvous reservation station (each receives the
+    /// conservative `false` and retries through its abort path). Resets
+    /// the watchdog so the recovered work gets a full window to drain.
+    fn escalate_watchdog(&mut self) {
+        let now = self.cycle;
+        self.wd_escalations += 1;
+        let mut out = Vec::new();
+        if let Some(key) = self.live.iter().next().copied() {
+            for e in &mut self.engines {
+                e.force_min_release(key, &mut out);
+            }
+        }
+        for p in &mut self.pipelines {
+            let set = p.set;
+            for stage in &mut p.stages {
+                let BodyOp::Rendezvous { rule_instance, .. } = &stage.op else {
+                    continue;
+                };
+                let rule = match &self.spec.task_sets()[set.0].body[rule_instance.pos()] {
+                    BodyOp::AllocRule { rule, .. } => *rule,
+                    _ => unreachable!("validated spec"),
+                };
+                let station = stage.station.as_mut().expect("rendezvous has station");
+                while let Some(tag) = station.timeout_one(now + 1) {
+                    self.engines[rule.0].cancel(tag);
+                    self.bounces += 1;
+                    self.wd_flushes += 1;
+                }
+            }
+        }
+        for (port, tag, word) in out {
+            self.resp[port as usize].push_back((tag, word));
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(now, self.tr_fault, "wd_escalate", 1);
+        }
+        self.escalated = true;
+        self.last_progress = self.cycle;
+    }
+
+    /// Assembles the campaign totals: the memory subsystem owns the
+    /// plan's counters; the watchdog counters live on the fabric (the
+    /// escalation works with faults off too).
+    fn fault_totals(&self) -> FaultStats {
+        let mut s = self.mem.fault_stats();
+        s.watchdog_escalations = self.wd_escalations;
+        s.watchdog_flushed = self.wd_flushes;
+        s
     }
 
     fn diagnostics(&self) -> String {
@@ -461,6 +620,16 @@ impl Fabric {
             })
             .sum();
         s.push_str(&format!("in_pipeline={in_flight}"));
+        if let Some(&(idx, seq)) = self.live.iter().next() {
+            s.push_str(&format!(" min_live=({idx}, seq {seq})"));
+        }
+        let ages = self.mem.mshr_ages(self.cycle);
+        if !ages.is_empty() {
+            s.push_str(&format!(
+                " mshr_ages={:?}",
+                &ages[..ages.len().min(8)]
+            ));
+        }
         s
     }
 
@@ -473,7 +642,10 @@ impl Fabric {
         }
         self.metrics
             .set_gauge(self.mids.utilization, util.pipeline_utilization());
+        let faults = self.fault_totals();
+        self.mids.faults.publish(&faults, &mut self.metrics);
         FabricReport {
+            faults,
             metrics: self.metrics.snapshot(),
             activity: util.clone(),
             trace: self.trace,
@@ -510,7 +682,16 @@ impl Fabric {
             pushed: self.queues.iter().map(TaskQueue::pushed_total).collect(),
             rules: self.engines.iter().map(RuleEngine::stats).collect(),
             seeds_pending: self.seed_backlog.len(),
+            faults: self.fault_totals(),
         });
+
+        // 0) Fault campaign: windowed lane/bank hard-fault trials, then
+        // respill of tokens drained from masked banks.
+        let fw = self.cfg.faults.fault_window;
+        if fw > 0 && now % fw == 1 {
+            self.inject_window_faults(now);
+        }
+        progress |= self.drain_fault_respill();
 
         // 1) Memory subsystem: completions -> response ports.
         let mut responses = Vec::new();
@@ -654,7 +835,69 @@ impl Fabric {
 
         if progress {
             self.last_progress = self.cycle;
+            // A fresh no-progress window earns a fresh escalation.
+            self.escalated = false;
         }
+    }
+
+    /// One lane-fault and one bank-fault trial per engine/queue. The
+    /// draws happen every window regardless of whether masking succeeds,
+    /// so the fault schedule is a pure function of the seed.
+    fn inject_window_faults(&mut self, now: u64) {
+        for ei in 0..self.engines.len() {
+            let Some(pick) = self.mem.faults_mut().and_then(FaultPlan::draw_lane_fault) else {
+                continue;
+            };
+            let mut out = Vec::new();
+            if let Some(drained) = self.engines[ei].mask_lane(pick, &mut out) {
+                let plan = self.mem.faults_mut().expect("plan produced the draw");
+                plan.stats.lanes_masked += 1;
+                if drained {
+                    plan.stats.lanes_drained += 1;
+                }
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.record(now, self.tr_fault, "lane_mask", 1);
+                }
+            }
+            for (port, tag, word) in out {
+                self.resp[port as usize].push_back((tag, word));
+            }
+        }
+        for qi in 0..self.queues.len() {
+            let Some(pick) = self.mem.faults_mut().and_then(FaultPlan::draw_bank_fault) else {
+                continue;
+            };
+            if let Some(drained) = self.queues[qi].mask_bank(pick) {
+                let plan = self.mem.faults_mut().expect("plan produced the draw");
+                plan.stats.banks_masked += 1;
+                plan.stats.banks_drained += drained.len() as u64;
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.record(now, self.tr_fault, "bank_mask", 1);
+                }
+                for t in drained {
+                    self.fault_respill.push_back((qi, t));
+                }
+            }
+        }
+    }
+
+    /// Pushes tokens drained from masked banks back onto the surviving
+    /// banks through the recirculation reserve (they never left `live`).
+    fn drain_fault_respill(&mut self) -> bool {
+        let mut progress = false;
+        let mut i = 0;
+        while i < self.fault_respill.len() {
+            let (qi, token) = self.fault_respill[i];
+            if self.queues[qi].can_push_reserved() {
+                let pushed = self.queues[qi].push_fixed(token);
+                debug_assert!(pushed, "checked can_push_reserved");
+                self.fault_respill.remove(i);
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        progress
     }
 
     /// Emits trace records for whatever the shared components (host,
@@ -697,6 +940,23 @@ impl Fabric {
                 }
             }
         }
+        // Soft-error and link injections/recoveries this cycle (lane,
+        // bank, and watchdog events are recorded at their action sites).
+        let f = self.mem.fault_stats();
+        let pf = &snap.faults;
+        for (ev, d) in [
+            ("soft_injected", f.soft_injected - pf.soft_injected),
+            ("soft_corrected", f.soft_corrected - pf.soft_corrected),
+            ("soft_refetched", f.soft_refetched - pf.soft_refetched),
+            ("link_drop", f.link_dropped - pf.link_dropped),
+            ("link_late", f.link_late - pf.link_late),
+            ("link_retry", f.link_retried - pf.link_retried),
+            ("link_escalate", f.link_escalated - pf.link_escalated),
+        ] {
+            if d > 0 {
+                tr.record(now, self.tr_fault, ev, d);
+            }
+        }
     }
 
     /// Syncs every registered metric with the component totals at the end
@@ -725,6 +985,8 @@ impl Fabric {
         for (e, ids) in self.engines.iter().zip(self.mids.rules.iter()) {
             e.publish(ids, m);
         }
+        let faults = self.fault_totals();
+        self.mids.faults.publish(&faults, &mut self.metrics);
     }
 }
 

@@ -32,6 +32,7 @@
 
 pub mod export;
 pub mod fabric;
+pub mod fault;
 pub mod memory;
 pub mod queue;
 pub mod resource;
@@ -39,6 +40,7 @@ pub mod rules;
 pub mod types;
 
 pub use fabric::{Fabric, FabricError, FabricReport};
+pub use fault::{FaultConfig, FaultPlan, FaultStats};
 pub use memory::MemConfig;
 pub use resource::{estimate_resources, ResourceReport, StratixV};
 
@@ -69,6 +71,9 @@ pub struct FabricConfig {
     pub event_bus_width: usize,
     /// Memory subsystem parameters.
     pub mem: MemConfig,
+    /// Deterministic fault-injection campaign ([`fault`]); the default
+    /// injects nothing and adds no overhead.
+    pub faults: FaultConfig,
     /// Abort the simulation after this many cycles (runaway guard).
     pub max_cycles: u64,
     /// Declare deadlock after this many cycles without progress.
@@ -96,10 +101,130 @@ impl Default for FabricConfig {
             rendezvous_timeout: 4096,
             event_bus_width: 8,
             mem: MemConfig::default(),
+            faults: FaultConfig::default(),
             max_cycles: 2_000_000_000,
             deadlock_cycles: 100_000,
             record_retirements: false,
             trace_capacity: 0,
         }
+    }
+}
+
+impl FabricConfig {
+    /// Lints the template parameters themselves (the `APIR5xx` family):
+    /// zero structural resources, a rendezvous timeout that cannot fire
+    /// before the deadlock watchdog, fault rates outside `[0, 1]`, and
+    /// degenerate fault plans. [`Fabric::new`] folds error-level
+    /// diagnostics into the same lint gate that rejects bad specs, and
+    /// `apir-lint` runs this over the builtin configurations.
+    pub fn validate(&self) -> apir_core::check::Report {
+        use apir_core::check::{Diagnostic, Lint, Report};
+        let mut report = Report::new("fabric config");
+        let zero = |name: &str, value: usize, report: &mut Report| {
+            if value == 0 {
+                report.push(
+                    Diagnostic::new(
+                        Lint::ZeroFabricResource,
+                        format!("config:{name}"),
+                        format!("`{name}` is 0; the fabric cannot be instantiated"),
+                    )
+                    .hint(format!("set `{name}` to at least 1")),
+                );
+            }
+        };
+        zero("pipelines_per_set", self.pipelines_per_set, &mut report);
+        zero("queue_banks", self.queue_banks, &mut report);
+        zero("queue_capacity", self.queue_capacity, &mut report);
+        zero("rule_lanes", self.rule_lanes, &mut report);
+        zero("lsu_window", self.lsu_window, &mut report);
+        zero("rendezvous_window", self.rendezvous_window, &mut report);
+        zero("event_bus_width", self.event_bus_width, &mut report);
+        zero(
+            "mem.requests_per_cycle",
+            self.mem.requests_per_cycle,
+            &mut report,
+        );
+        zero(
+            "mem.max_inflight_misses",
+            self.mem.max_inflight_misses,
+            &mut report,
+        );
+        if self.queue_capacity > 0 && self.queue_capacity < self.queue_banks {
+            report.push(
+                Diagnostic::new(
+                    Lint::ZeroFabricResource,
+                    "config:queue_capacity",
+                    format!(
+                        "`queue_capacity` ({}) is below `queue_banks` ({}); \
+                         some banks would hold zero entries",
+                        self.queue_capacity, self.queue_banks
+                    ),
+                )
+                .hint("give each bank at least one entry"),
+            );
+        }
+        if self.rendezvous_timeout >= self.deadlock_cycles {
+            report.push(
+                Diagnostic::new(
+                    Lint::WatchdogMisordered,
+                    "config:rendezvous_timeout",
+                    format!(
+                        "`rendezvous_timeout` ({}) must be below `deadlock_cycles` ({}): \
+                         a stuck rendezvous would be declared a deadlock before it can bounce",
+                        self.rendezvous_timeout, self.deadlock_cycles
+                    ),
+                )
+                .hint("lower rendezvous_timeout or raise deadlock_cycles"),
+            );
+        }
+        let rate = |name: &str, value: f64, report: &mut Report| {
+            if !(0.0..=1.0).contains(&value) {
+                report.push(
+                    Diagnostic::new(
+                        Lint::FaultRateOutOfRange,
+                        format!("config:faults.{name}"),
+                        format!("`faults.{name}` is {value}; rates are probabilities in [0, 1]"),
+                    )
+                    .hint("clamp the rate to [0, 1]"),
+                );
+            }
+        };
+        rate("soft_error_rate", self.faults.soft_error_rate, &mut report);
+        rate(
+            "multi_bit_fraction",
+            self.faults.multi_bit_fraction,
+            &mut report,
+        );
+        rate("drop_rate", self.faults.drop_rate, &mut report);
+        rate("late_rate", self.faults.late_rate, &mut report);
+        rate("lane_fault_rate", self.faults.lane_fault_rate, &mut report);
+        rate("bank_fault_rate", self.faults.bank_fault_rate, &mut report);
+        if self.faults.is_enabled() {
+            if (self.faults.lane_fault_rate > 0.0 || self.faults.bank_fault_rate > 0.0)
+                && self.faults.fault_window == 0
+            {
+                report.push(
+                    Diagnostic::new(
+                        Lint::DegenerateFaultPlan,
+                        "config:faults.fault_window",
+                        "lane/bank faults are enabled but `fault_window` is 0, \
+                         so no trial would ever run",
+                    )
+                    .hint("set fault_window to a positive cycle count"),
+                );
+            }
+            if self.faults.drop_rate > 0.0 && self.faults.retry_timeout == 0 {
+                report.push(
+                    Diagnostic::new(
+                        Lint::DegenerateFaultPlan,
+                        "config:faults.retry_timeout",
+                        "drops are enabled but `retry_timeout` is 0, so dropped \
+                         transfers would retry with no backoff at all",
+                    )
+                    .hint("set retry_timeout to a positive cycle count"),
+                );
+            }
+        }
+        report
     }
 }

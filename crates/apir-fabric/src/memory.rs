@@ -13,8 +13,12 @@
 //!
 //! Loads and RMW stores act on the [`MemImage`] *at completion time*, so
 //! concurrent read-modify-writes serialize in completion order, exactly
-//! like commit units behind a memory arbiter.
+//! like commit units behind a memory arbiter. Because dropped or retried
+//! transfers have no functional effect until they complete, the fault
+//! layer ([`crate::fault`]) can replay them arbitrarily without ever
+//! double-applying a store.
 
+use crate::fault::{FaultConfig, FaultPlan, FaultStats, LinkFault, SoftError};
 use crate::types::{MemReq, WriteKind};
 use apir_sim::bandwidth::BandwidthMeter;
 use apir_sim::delay::DelayLine;
@@ -131,6 +135,44 @@ impl TagArray {
             false
         }
     }
+
+    /// Invalidates the line containing `addr_words` if it is resident
+    /// (uncorrectable soft error: the data cannot be trusted).
+    fn invalidate(&mut self, addr_words: u64, line_words: u64) {
+        let line = addr_words / line_words;
+        let set = (line % self.num_lines as u64) as usize;
+        let tag = line / self.num_lines as u64 + 1;
+        if self.tags[set] == tag {
+            self.tags[set] = 0;
+        }
+    }
+}
+
+/// A miss-path transfer with its fault-recovery bookkeeping.
+#[derive(Clone, Copy, Debug)]
+struct MissEntry {
+    req: MemReq,
+    /// Link-drop retries spent so far.
+    retries: u32,
+    /// Cycle the request entered the subsystem (MSHR-age diagnostics).
+    born: Cycle,
+    /// This transfer is refetching a line an uncorrectable soft error
+    /// invalidated; revalidate the tag when it completes.
+    refetch: bool,
+}
+
+/// A transfer that exhausted its retry budget; surfaced by the fabric as
+/// [`FabricError::LinkFailed`](crate::FabricError).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFailure {
+    /// Cycle the final drop was observed.
+    pub cycle: Cycle,
+    /// Requesting pipeline port.
+    pub port: u32,
+    /// Request tag.
+    pub tag: u64,
+    /// Retries spent before escalating.
+    pub retries: u32,
 }
 
 /// The memory subsystem component.
@@ -143,12 +185,19 @@ pub struct MemorySubsystem {
     /// Hit-path pipe.
     hit_pipe: DelayLine<MemReq>,
     /// Miss-path pipe (entered once bandwidth + MSHR admit).
-    miss_pipe: DelayLine<MemReq>,
+    miss_pipe: DelayLine<MissEntry>,
     /// Write-through pipe (admitted behind the same bandwidth meter but
     /// completing with hit latency; posted writes don't occupy MSHRs).
     write_pipe: DelayLine<MemReq>,
     /// Misses waiting for bandwidth/MSHR admission.
-    miss_wait: VecDeque<MemReq>,
+    miss_wait: VecDeque<MissEntry>,
+    /// Transfers a link fault dropped, waiting out their deterministic
+    /// exponential backoff (`(retry_at, entry)`).
+    lost: Vec<(Cycle, MissEntry)>,
+    /// First transfer that exhausted `max_retries`.
+    link_failed: Option<LinkFailure>,
+    /// Seeded fault source; `None` on the fault-free hot path.
+    faults: Option<FaultPlan>,
     qpi: BandwidthMeter,
     miss_latency: Cycle,
     stats: MemStats,
@@ -159,6 +208,13 @@ pub struct MemorySubsystem {
 impl MemorySubsystem {
     /// Builds the subsystem around an initial memory image.
     pub fn new(cfg: MemConfig, image: MemImage) -> Self {
+        Self::with_faults(cfg, image, &FaultConfig::default())
+    }
+
+    /// Builds the subsystem with a fault-injection campaign armed. A
+    /// config that injects nothing (the default) costs nothing at tick
+    /// time.
+    pub fn with_faults(cfg: MemConfig, image: MemImage, faults: &FaultConfig) -> Self {
         let tags = TagArray::new(cfg.cache_kb * 1024, cfg.line_bytes);
         let qpi = BandwidthMeter::from_gbps(cfg.qpi_gbps, cfg.clock_mhz)
             .with_min_burst(2 * cfg.line_bytes as u64);
@@ -170,6 +226,9 @@ impl MemorySubsystem {
             miss_pipe: DelayLine::new(miss_latency),
             write_pipe: DelayLine::new(cfg.hit_latency),
             miss_wait: VecDeque::new(),
+            lost: Vec::new(),
+            link_failed: None,
+            faults: FaultPlan::new(faults),
             tags,
             qpi,
             image,
@@ -192,19 +251,41 @@ impl MemorySubsystem {
 
     /// Consumes link bandwidth for an extern core's burst transfer;
     /// returns the bytes actually granted this cycle (up to `want`).
+    ///
+    /// Extern DMA rides the same QPI link as misses, so it is exposed to
+    /// the same faults: a dropped or corrupted chunk is not credited (it
+    /// retransmits, burning more of this cycle's bandwidth budget); a
+    /// late or single-bit-corrected chunk is counted but still credited.
     pub fn grant_burst(&mut self, want: u64) -> u64 {
         // Consume in line-size chunks to share fairly with misses.
         let chunk = self.cfg.line_bytes as u64;
         let mut granted = 0;
         while granted < want {
             let step = chunk.min(want - granted);
-            if self.qpi.try_consume(step) {
-                granted += step;
-            } else {
+            if !self.qpi.try_consume(step) {
                 break;
             }
+            self.stats.qpi_bytes += step;
+            if let Some(plan) = self.faults.as_mut() {
+                match plan.draw_link() {
+                    Some(LinkFault::Dropped) => {
+                        plan.stats.link_dropped += 1;
+                        continue; // chunk lost on the wire
+                    }
+                    Some(LinkFault::Late(_)) => plan.stats.link_late += 1,
+                    None => {}
+                }
+                match plan.draw_fill() {
+                    Some(SoftError::MultiBit) => {
+                        plan.stats.soft_refetched += 1;
+                        continue; // chunk corrupt; refetch it
+                    }
+                    Some(SoftError::SingleBit) => plan.stats.soft_corrected += 1,
+                    None => {}
+                }
+            }
+            granted += step;
         }
-        self.stats.qpi_bytes += granted;
         granted
     }
 
@@ -214,13 +295,45 @@ impl MemorySubsystem {
     }
 
     /// Requests currently inside the subsystem (queued, waiting for
-    /// admission, or traversing a latency pipe).
+    /// admission, backing off after a drop, or traversing a latency
+    /// pipe).
     pub fn inflight(&self) -> usize {
         self.requests.len()
             + self.hit_pipe.len()
             + self.miss_pipe.len()
             + self.write_pipe.len()
             + self.miss_wait.len()
+            + self.lost.len()
+    }
+
+    /// Fault-injection totals accounted by this subsystem (zero when no
+    /// campaign is armed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|p| p.stats).unwrap_or_default()
+    }
+
+    /// The armed fault plan, if any (the fabric draws its lane/bank
+    /// trials from the same plan so one seed governs the campaign).
+    pub fn faults_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.faults.as_mut()
+    }
+
+    /// The transfer that exhausted its retry budget, if any.
+    pub fn link_failure(&self) -> Option<LinkFailure> {
+        self.link_failed
+    }
+
+    /// Ages (cycles since issue) of in-flight MSHR-path transfers,
+    /// oldest first — deadlock-diagnostic fodder.
+    pub fn mshr_ages(&self, now: Cycle) -> Vec<u64> {
+        let mut ages: Vec<u64> = self
+            .miss_wait
+            .iter()
+            .map(|e| now.saturating_sub(e.born))
+            .chain(self.lost.iter().map(|(_, e)| now.saturating_sub(e.born)))
+            .collect();
+        ages.sort_unstable_by(|a, b| b.cmp(a));
+        ages
     }
 
     /// Publishes the per-cycle view into the metrics registry: the
@@ -243,6 +356,7 @@ impl MemorySubsystem {
             && self.miss_pipe.is_empty()
             && self.write_pipe.is_empty()
             && self.miss_wait.is_empty()
+            && self.lost.is_empty()
     }
 
     /// Advances one cycle: admits requests, serves completions into
@@ -250,19 +364,55 @@ impl MemorySubsystem {
     /// responses and then call [`MemorySubsystem::commit`].
     pub fn tick(&mut self, now: Cycle, responses: &mut Vec<(u32, u64, u64)>) {
         self.qpi.tick();
+        let line_words = (self.cfg.line_bytes / 8) as u64;
+        // 0) Re-arm dropped transfers whose backoff expired (ahead of the
+        //    admission queue: they have already waited their turn once).
+        let mut i = 0;
+        while i < self.lost.len() {
+            if self.lost[i].0 <= now {
+                let (_, entry) = self.lost.remove(i);
+                if let Some(plan) = self.faults.as_mut() {
+                    plan.stats.link_retried += 1;
+                }
+                self.miss_wait.push_front(entry);
+            } else {
+                i += 1;
+            }
+        }
         // 1) Completions (functional effect happens here).
         while let Some(req) = self.hit_pipe.pop_ready(now) {
             responses.push(self.complete(req));
         }
-        while let Some(req) = self.miss_pipe.pop_ready(now) {
-            responses.push(self.complete(req));
+        while let Some(mut entry) = self.miss_pipe.pop_ready(now) {
+            // The fill just crossed the link: run the modeled ECC check.
+            match self.faults.as_mut().and_then(FaultPlan::draw_fill) {
+                Some(SoftError::MultiBit) => {
+                    // Uncorrectable: invalidate the line and refetch it.
+                    self.faults.as_mut().unwrap().stats.soft_refetched += 1;
+                    let addr_words = self.bases[entry.req.region.0] + entry.req.offset;
+                    self.tags.invalidate(addr_words, line_words);
+                    entry.refetch = true;
+                    self.miss_wait.push_front(entry);
+                    continue;
+                }
+                Some(SoftError::SingleBit) => {
+                    self.faults.as_mut().unwrap().stats.soft_corrected += 1;
+                }
+                None => {}
+            }
+            if entry.refetch {
+                // The refetched line is valid again.
+                let addr_words = self.bases[entry.req.region.0] + entry.req.offset;
+                self.tags.access(addr_words, line_words, true);
+            }
+            responses.push(self.complete(entry.req));
         }
         while let Some(req) = self.write_pipe.pop_ready(now) {
             responses.push(self.complete(req));
         }
         // 2) Admit waiting misses (bandwidth + MSHR bound).
-        while let Some(req) = self.miss_wait.front().copied() {
-            let is_write = req.write.is_some();
+        while let Some(entry) = self.miss_wait.front().copied() {
+            let is_write = entry.req.write.is_some();
             if !is_write && self.miss_pipe.len() >= self.cfg.max_inflight_misses {
                 break;
             }
@@ -276,14 +426,48 @@ impl MemorySubsystem {
             }
             self.stats.qpi_bytes += bytes;
             self.miss_wait.pop_front();
-            if is_write {
-                self.write_pipe.push(now, req);
-            } else {
-                self.miss_pipe.push(now, req);
+            // The transfer is on the wire: draw its link fate.
+            match self.faults.as_mut().and_then(FaultPlan::draw_link) {
+                Some(LinkFault::Dropped) => {
+                    let plan = self.faults.as_mut().unwrap();
+                    plan.stats.link_dropped += 1;
+                    if entry.retries >= plan.cfg().max_retries {
+                        plan.stats.link_escalated += 1;
+                        self.link_failed.get_or_insert(LinkFailure {
+                            cycle: now,
+                            port: entry.req.port,
+                            tag: entry.req.tag,
+                            retries: entry.retries,
+                        });
+                    } else {
+                        let retry_at = now + plan.backoff(entry.retries);
+                        self.lost.push((
+                            retry_at,
+                            MissEntry {
+                                retries: entry.retries + 1,
+                                ..entry
+                            },
+                        ));
+                    }
+                }
+                Some(LinkFault::Late(extra)) => {
+                    self.faults.as_mut().unwrap().stats.link_late += 1;
+                    if is_write {
+                        self.write_pipe.push_extra(now, extra, entry.req);
+                    } else {
+                        self.miss_pipe.push_extra(now, extra, entry);
+                    }
+                }
+                None => {
+                    if is_write {
+                        self.write_pipe.push(now, entry.req);
+                    } else {
+                        self.miss_pipe.push(now, entry);
+                    }
+                }
             }
         }
         // 3) Accept new requests.
-        let line_words = (self.cfg.line_bytes / 8) as u64;
         for _ in 0..self.cfg.requests_per_cycle {
             // Leave headroom in the wait queue so admission stays bounded.
             if self.miss_wait.len() >= 4 * self.cfg.max_inflight_misses {
@@ -291,6 +475,12 @@ impl MemorySubsystem {
             }
             let Some(req) = self.requests.pop() else { break };
             let addr_words = self.bases[req.region.0] + req.offset;
+            let entry = MissEntry {
+                req,
+                retries: 0,
+                born: now,
+                refetch: false,
+            };
             match req.write {
                 None => {
                     self.stats.reads += 1;
@@ -299,7 +489,7 @@ impl MemorySubsystem {
                         self.hit_pipe.push(now, req);
                     } else {
                         self.stats.misses += 1;
-                        self.miss_wait.push_back(req);
+                        self.miss_wait.push_back(entry);
                     }
                 }
                 Some(_) => {
@@ -309,7 +499,7 @@ impl MemorySubsystem {
                     let _hit = self.tags.access(addr_words, line_words, false);
                     // All writes traverse the link; queue behind misses for
                     // bandwidth accounting.
-                    self.miss_wait.push_back(req);
+                    self.miss_wait.push_back(entry);
                 }
             }
         }
@@ -481,6 +671,107 @@ mod tests {
         // 32 lines * 64B at 5 B/cycle = ~410 cycles minimum.
         assert!(t >= 350, "completed too fast for 1 GB/s: {t}");
         assert_eq!(m.stats().qpi_bytes, 32 * 64);
+    }
+
+    fn faulty_subsystem(faults: &FaultConfig) -> MemorySubsystem {
+        let img = MemImage::new(&[("a".into(), 4096)]);
+        MemorySubsystem::with_faults(MemConfig::default(), img, faults)
+    }
+
+    #[test]
+    fn dropped_transfer_retries_and_completes() {
+        // Seeded 50% drop: every lost admission re-arms after the backoff
+        // and the miss still completes with the right data.
+        let faults = FaultConfig {
+            seed: 3,
+            drop_rate: 0.5,
+            retry_timeout: 8,
+            max_retries: 8,
+            ..FaultConfig::default()
+        };
+        let mut m = faulty_subsystem(&faults);
+        m.image_mut().write(RegionId(0), 0, 42);
+        for i in 0..8u64 {
+            m.requests.push(read_req(i, i * 64));
+        }
+        m.commit();
+        let (r, _) = run_until_responses(&mut m, 0, 8, 20_000);
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.iter().find(|x| x.1 == 0).unwrap().2, 42);
+        let f = m.fault_stats();
+        assert!(f.link_dropped > 0, "seed 3 must drop something: {f:?}");
+        assert_eq!(f.link_retried, f.link_dropped, "every drop re-armed");
+        assert!(m.is_idle());
+        assert!(m.link_failure().is_none());
+    }
+
+    #[test]
+    fn certain_drop_exhausts_retries_into_link_failure() {
+        let faults = FaultConfig {
+            seed: 1,
+            drop_rate: 1.0,
+            retry_timeout: 2,
+            max_retries: 2,
+            ..FaultConfig::default()
+        };
+        let mut m = faulty_subsystem(&faults);
+        m.requests.push(read_req(9, 0));
+        m.commit();
+        let (r, _) = run_until_responses(&mut m, 0, 1, 2_000);
+        assert!(r.is_empty(), "a dead link must not answer");
+        let fail = m.link_failure().expect("retries exhausted");
+        assert_eq!(fail.tag, 9);
+        assert_eq!(fail.retries, 2);
+        assert_eq!(m.fault_stats().link_escalated, 1);
+    }
+
+    #[test]
+    fn multi_bit_soft_error_refetches_with_correct_data() {
+        // Frequent all-multi-bit soft errors (a certain rate would refetch
+        // forever): corrupted fills are scrubbed and refetched, yet the
+        // response carries the true memory word — modeled ECC never lets
+        // corrupted data reach the pipelines. Seed 5 is probed to corrupt
+        // the first fill and pass a later one.
+        let faults = FaultConfig {
+            seed: 5,
+            soft_error_rate: 0.7,
+            multi_bit_fraction: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut m = faulty_subsystem(&faults);
+        m.image_mut().write(RegionId(0), 1, 77);
+        m.requests.push(read_req(4, 1));
+        m.commit();
+        let (r, t) = run_until_responses(&mut m, 0, 1, 5_000);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].2, 77);
+        let f = m.fault_stats();
+        assert!(f.soft_refetched > 0, "{f:?}");
+        assert_eq!(f.soft_corrected, 0);
+        // The refetch pays at least one extra miss round trip.
+        assert!(t >= 2 * 54, "refetch came back too fast: {t}");
+    }
+
+    #[test]
+    fn single_bit_soft_errors_are_corrected_inline() {
+        let faults = FaultConfig {
+            seed: 5,
+            soft_error_rate: 1.0,
+            multi_bit_fraction: 0.0,
+            ..FaultConfig::default()
+        };
+        let mut m = faulty_subsystem(&faults);
+        m.image_mut().write(RegionId(0), 2, 31);
+        m.requests.push(read_req(4, 2));
+        m.commit();
+        let (r, t) = run_until_responses(&mut m, 0, 1, 5_000);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].2, 31);
+        let f = m.fault_stats();
+        assert!(f.soft_corrected > 0, "{f:?}");
+        assert_eq!(f.soft_refetched, 0);
+        // Correction is free: same latency envelope as a clean miss.
+        assert!(t < 2 * 54, "inline correction must not refetch: {t}");
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub struct TaskQueue {
     /// queue deadlocks against a full pipeline.
     reserve: usize,
     capacity: usize,
+    /// Entries per bank (fixed at construction; needed to recompute the
+    /// capacity when a bank fault masks one out).
+    per_bank: usize,
+    /// Banks masked out by injected hard faults; the allocator and the
+    /// pop rotation skip them.
+    masked: Vec<bool>,
 }
 
 impl TaskQueue {
@@ -74,6 +80,8 @@ impl TaskQueue {
             peak: 0,
             reserve: 0,
             capacity: per * banks,
+            per_bank: per,
+            masked: vec![false; banks],
         }
     }
 
@@ -96,12 +104,47 @@ impl TaskQueue {
     /// Can one more ordinary task be pushed this cycle (leaving the
     /// recirculation reserve free)?
     pub fn can_push(&self) -> bool {
-        self.len() + self.reserve < self.capacity && self.banks.iter().any(Fifo::can_push)
+        self.len() + self.reserve < self.capacity
+            && self
+                .banks
+                .iter()
+                .zip(&self.masked)
+                .any(|(b, &m)| !m && b.can_push())
     }
 
     /// Can a recirculated task be pushed this cycle?
     pub fn can_push_reserved(&self) -> bool {
-        self.banks.iter().any(Fifo::can_push)
+        self.banks
+            .iter()
+            .zip(&self.masked)
+            .any(|(b, &m)| !m && b.can_push())
+    }
+
+    /// Banks still in service (not masked by an injected fault).
+    pub fn live_banks(&self) -> usize {
+        self.masked.iter().filter(|&&m| !m).count()
+    }
+
+    /// Masks out one live bank (an injected hard fault), draining its
+    /// contents for the caller to respill onto the survivors. The pick is
+    /// taken modulo the live-bank count. Refuses (returns `None`) when
+    /// masking would drop below half the banks or leave too little
+    /// capacity for the recirculation reserve — graceful degradation must
+    /// never become a self-inflicted deadlock.
+    pub fn mask_bank(&mut self, pick: u64) -> Option<Vec<TaskToken>> {
+        let live: Vec<usize> = (0..self.banks.len())
+            .filter(|&i| !self.masked[i])
+            .collect();
+        if live.len() * 2 <= self.banks.len() {
+            return None;
+        }
+        if self.per_bank * (live.len() - 1) <= 2 * self.reserve {
+            return None;
+        }
+        let victim = live[(pick % live.len() as u64) as usize];
+        self.masked[victim] = true;
+        self.capacity = self.per_bank * (live.len() - 1);
+        Some(self.banks[victim].drain_all())
     }
 
     /// Peak occupancy observed.
@@ -156,7 +199,7 @@ impl TaskQueue {
         let n = self.banks.len();
         for k in 0..n {
             let b = (self.push_rr + k) % n;
-            if self.banks[b].try_push(token) {
+            if !self.masked[b] && self.banks[b].try_push(token) {
                 self.push_rr = (b + 1) % n;
                 self.pushed_total += 1;
                 self.peak = self.peak.max(self.len());
@@ -171,6 +214,9 @@ impl TaskQueue {
         let n = self.banks.len();
         for k in 0..n {
             let b = (self.pop_rr + k) % n;
+            if self.masked[b] {
+                continue;
+            }
             if let Some(t) = self.banks[b].pop() {
                 self.pop_rr = (b + 1) % n;
                 return Some(t);
@@ -266,6 +312,40 @@ mod tests {
         // Counter did not advance for the failed push.
         let t = q.push_child(IndexTuple::ROOT, 4, to_fields(&[3])).unwrap();
         assert_eq!(t.index.component(1), 2);
+    }
+
+    #[test]
+    fn bank_mask_drains_and_degrades() {
+        let mut q = q(TaskSetKind::ForEach);
+        for i in 0..8 {
+            q.push_child(IndexTuple::ROOT, i, to_fields(&[i])).unwrap();
+        }
+        q.commit();
+        let drained = q.mask_bank(0).expect("first mask allowed");
+        assert_eq!(q.live_banks(), 3);
+        assert_eq!(q.len() + drained.len(), 8, "nothing lost by the drain");
+        for t in drained {
+            assert!(q.push_fixed(t), "survivors absorb the respill");
+        }
+        q.commit();
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 8);
+        // Degradation stops at half the banks.
+        assert!(q.mask_bank(1).is_some());
+        assert_eq!(q.live_banks(), 2);
+        assert!(q.mask_bank(2).is_none(), "refuses to go below half");
+    }
+
+    #[test]
+    fn bank_mask_respects_reserve() {
+        let mut q = TaskQueue::new(TaskSetKind::ForEach, 1, 2, 8);
+        q.set_reserve(4); // clamped to capacity/2 = 4
+        // Masking one of two banks would leave 4 slots <= 2 * reserve.
+        assert!(q.mask_bank(0).is_none());
+        assert_eq!(q.live_banks(), 2);
     }
 
     #[test]

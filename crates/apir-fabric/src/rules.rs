@@ -111,6 +111,9 @@ pub struct RuleEngine {
     returns: HashMap<u64, bool>,
     /// Returns produced by evictions during `alloc` (drained by `tick`).
     evicted_returns: Vec<(u32, u64, u64)>,
+    /// Lanes masked out by injected hard faults; the allocator never
+    /// grants them (they are always empty once drained).
+    masked: Vec<bool>,
     stats: RuleEngineStats,
 }
 
@@ -123,6 +126,7 @@ impl RuleEngine {
             lanes: vec![None; lanes.max(1)],
             returns: HashMap::new(),
             evicted_returns: Vec::new(),
+            masked: vec![false; lanes.max(1)],
             stats: RuleEngineStats::default(),
         }
     }
@@ -140,6 +144,53 @@ impl RuleEngine {
     /// Occupied lanes.
     pub fn occupied(&self) -> usize {
         self.lanes.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Lanes still in service (not masked by an injected fault).
+    pub fn live_lanes(&self) -> usize {
+        self.masked.iter().filter(|&&m| !m).count()
+    }
+
+    /// Masks out one live lane (an injected hard fault). If the lane is
+    /// occupied its holder is drained with a conservative `false` (the
+    /// paper's abort/retry verdict), delivered through `out` or the
+    /// return buffer exactly like an eviction. The pick is taken modulo
+    /// the live-lane count. Refuses (returns `None`) when masking would
+    /// drop below half the lanes; otherwise returns whether the lane had
+    /// to be drained.
+    pub fn mask_lane(&mut self, pick: u64, out: &mut Vec<(u32, u64, u64)>) -> Option<bool> {
+        let live: Vec<usize> = (0..self.lanes.len())
+            .filter(|&i| !self.masked[i])
+            .collect();
+        if live.len() * 2 <= self.lanes.len() {
+            return None;
+        }
+        let victim = live[(pick % live.len() as u64) as usize];
+        let drained = self.lanes[victim].is_some();
+        if drained {
+            self.release(victim, false, out);
+        }
+        self.masked[victim] = true;
+        Some(drained)
+    }
+
+    /// Watchdog escalation: force the lane held by the task `key` to
+    /// fire its `otherwise` path right now (the paper's liveness lever,
+    /// pulled early). Returns whether a lane was released.
+    pub fn force_min_release(
+        &mut self,
+        key: (IndexTuple, u64),
+        out: &mut Vec<(u32, u64, u64)>,
+    ) -> bool {
+        let pos = self.lanes.iter().position(|l| {
+            l.as_ref()
+                .is_some_and(|l| (l.parent_index, l.parent_seq) == key)
+        });
+        let Some(pos) = pos else { return false };
+        self.stats.otherwise_fires += 1;
+        let v = self.decl.otherwise;
+        self.release(pos, v, out);
+        true
     }
 
     /// Publishes the per-cycle view into the metrics registry: the
@@ -173,7 +224,7 @@ impl RuleEngine {
             self.stats.allocs += 1;
             return AllocOutcome::Granted;
         }
-        let free = self.lanes.iter().position(|l| l.is_none());
+        let free = (0..self.lanes.len()).find(|&i| self.lanes[i].is_none() && !self.masked[i]);
         let slot_idx = match free {
             Some(i) => i,
             None => {
@@ -478,6 +529,50 @@ mod tests {
         assert_eq!(e.claim(1, 5), ClaimOutcome::Wait);
         e.tick(&[msg(0, &[42], &[2])], None, &mut out);
         assert_eq!(out, vec![(5, 1, 1)]);
+    }
+
+    #[test]
+    fn masked_lane_drains_holder_and_degrades() {
+        let decl = RuleDecl::new("r", 0, true);
+        let mut e = RuleEngine::new(decl, 4);
+        assert_eq!(e.alloc(IndexTuple::new(&[1]), 1, to_fields(&[]), 1), AllocOutcome::Granted);
+        let mut out = Vec::new();
+        // Mask the occupied lane: the holder gets a conservative false.
+        let mut masked_occupied = false;
+        for pick in 0..4 {
+            if e.occupied() == 0 {
+                break;
+            }
+            if e.mask_lane(pick, &mut out) == Some(true) {
+                masked_occupied = true;
+                break;
+            }
+        }
+        assert!(masked_occupied);
+        assert_eq!(e.claim(1, 0), ClaimOutcome::Ready(false));
+        // Survivors still serve allocations.
+        assert_eq!(e.alloc(IndexTuple::new(&[2]), 2, to_fields(&[]), 2), AllocOutcome::Granted);
+        // Degradation stops at half the lanes.
+        while e.live_lanes() > 2 {
+            assert!(e.mask_lane(0, &mut out).is_some());
+        }
+        assert!(e.mask_lane(0, &mut out).is_none(), "refuses below half");
+        assert_eq!(e.live_lanes(), 2);
+    }
+
+    #[test]
+    fn force_min_release_fires_otherwise_early() {
+        let decl = RuleDecl::new_waiting("serial", 0, true);
+        let mut e = RuleEngine::new(decl, 2);
+        let i1 = IndexTuple::new(&[1]);
+        assert_eq!(e.alloc(i1, 1, to_fields(&[]), 1), AllocOutcome::Granted);
+        assert_eq!(e.claim(1, 3), ClaimOutcome::Wait);
+        let mut out = Vec::new();
+        assert!(!e.force_min_release((IndexTuple::new(&[9]), 9), &mut out));
+        assert!(e.force_min_release((i1, 1), &mut out));
+        assert_eq!(out, vec![(3, 1, 1)]);
+        assert_eq!(e.stats().otherwise_fires, 1);
+        assert_eq!(e.occupied(), 0);
     }
 
     #[test]

@@ -210,7 +210,14 @@ fn max_cycles_guard() {
         ..small_cfg()
     };
     let err = Fabric::new(&s, &input, cfg).run().unwrap_err();
-    assert!(matches!(err, apir_fabric::FabricError::MaxCycles(_)), "{err}");
+    assert!(
+        matches!(err, apir_fabric::FabricError::MaxCycles { .. }),
+        "{err}"
+    );
+    // The error carries the partial report for post-mortem.
+    let report = err.partial_report().expect("runtime errors carry a report");
+    assert!(report.cycles >= 5_000);
+    assert!(report.requeues > 0, "the spinner requeued the whole time");
 }
 
 /// Pipeline utilization and stats sanity.

@@ -39,6 +39,7 @@ pub struct EventTrace {
     cap: usize,
     buf: VecDeque<TraceRecord>,
     dropped: u64,
+    emitted: u64,
     components: Vec<String>,
 }
 
@@ -49,6 +50,7 @@ impl EventTrace {
             cap: cap.max(1),
             buf: VecDeque::new(),
             dropped: 0,
+            emitted: 0,
             components: Vec::new(),
         }
     }
@@ -75,6 +77,7 @@ impl EventTrace {
 
     /// Appends a record, evicting the oldest when full.
     pub fn record(&mut self, cycle: u64, comp: CompId, event: &'static str, value: u64) {
+        self.emitted += 1;
         if self.buf.len() == self.cap {
             self.buf.pop_front();
             self.dropped += 1;
@@ -105,6 +108,13 @@ impl EventTrace {
     /// Records evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Records ever emitted. The conservation invariant — even under a
+    /// fault storm multiplying trace volume — is
+    /// `emitted() == len() + dropped()`.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
     }
 
     /// Retained records, oldest first. Cycles are monotone non-decreasing

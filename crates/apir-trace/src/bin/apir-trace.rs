@@ -13,17 +13,19 @@
 
 use apir_bench::scale::APP_NAMES;
 use apir_bench::Scale;
-use apir_trace::{chrome_trace, text_summary, traced_run};
+use apir_trace::{chaos_run, chrome_trace, text_summary, traced_run};
 
 const USAGE: &str = "\
 usage: apir-trace <command>
 
 commands:
   run <APP> [--scale tiny|small|medium|large] [--cap N]
-            [--chrome PATH] [--json PATH]
+            [--faults SEED] [--chrome PATH] [--json PATH]
       Run one builtin app with event tracing and print a summary.
       --scale   workload scale (default: tiny)
       --cap     trace ring capacity in records (default: 65536)
+      --faults  arm the chaos fault-injection preset with this seed;
+                the run is still verified against the app checker
       --chrome  write the trace as Chrome-trace JSON to PATH
       --json    write the full report as JSON to PATH
   list
@@ -51,6 +53,7 @@ fn cmd_run(args: Vec<String>) {
     }
     let mut scale = Scale::Tiny;
     let mut cap: usize = 1 << 16;
+    let mut fault_seed: Option<u64> = None;
     let mut chrome_path: Option<String> = None;
     let mut json_path: Option<String> = None;
     while let Some(arg) = args.next() {
@@ -66,12 +69,22 @@ fn cmd_run(args: Vec<String>) {
                     .parse()
                     .unwrap_or_else(|_| fail(&format!("--cap wants a number, got `{v}`")));
             }
+            "--faults" => {
+                let v = next_value(&mut args, "--faults");
+                fault_seed = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("--faults wants a seed, got `{v}`"))),
+                );
+            }
             "--chrome" => chrome_path = Some(next_value(&mut args, "--chrome")),
             "--json" => json_path = Some(next_value(&mut args, "--json")),
             other => fail(&format!("unknown flag `{other}`")),
         }
     }
-    let report = traced_run(&app, scale, cap.max(1));
+    let report = match fault_seed {
+        Some(seed) => chaos_run(&app, scale, cap.max(1), seed),
+        None => traced_run(&app, scale, cap.max(1)),
+    };
     print!("{}", text_summary(&report));
     if let Some(path) = chrome_path {
         let doc = chrome_trace(&report).expect("tracing was enabled");

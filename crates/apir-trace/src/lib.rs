@@ -49,6 +49,22 @@ pub fn traced_run(name: &str, scale: Scale, trace_capacity: usize) -> FabricRepo
     report
 }
 
+/// Like [`traced_run`], but with the chaos fault-injection preset
+/// ([`apir_fabric::FaultConfig::chaos`]) armed from `fault_seed`: soft
+/// errors on cache-line fills, dropped/late QPI responses, and periodic
+/// rule-lane / queue-bank failures. The run still goes through the app's
+/// checker, so a returned report proves the fabric recovered to a correct
+/// final memory image despite the injected faults. Fully deterministic:
+/// the same `(name, scale, trace_capacity, fault_seed)` produces a
+/// byte-identical `to_json()` document.
+pub fn chaos_run(name: &str, scale: Scale, trace_capacity: usize, fault_seed: u64) -> FabricReport {
+    let mut cfg = synthesized_cfg(name, scale);
+    cfg.trace_capacity = trace_capacity;
+    cfg.faults = apir_fabric::FaultConfig::chaos(fault_seed);
+    let (_, report) = run_verified(name, scale, cfg);
+    report
+}
+
 /// Per-component totals of one event kind: `(occurrences, summed value)`.
 type EventTotals = BTreeMap<(String, &'static str), (u64, u64)>;
 
@@ -85,6 +101,24 @@ pub fn text_summary(report: &FabricReport) -> String {
         report.mem.reads, report.mem.writes, report.mem.hits, report.mem.misses,
         report.mem.qpi_bytes
     );
+    let f = &report.faults;
+    if *f != apir_fabric::FaultStats::default() {
+        let _ = writeln!(
+            out,
+            "faults: soft={}/{}c/{}r link={}d/{}l/{}r/{}e lanes={}m banks={}m wd={}e/{}f",
+            f.soft_injected,
+            f.soft_corrected,
+            f.soft_refetched,
+            f.link_dropped,
+            f.link_late,
+            f.link_retried,
+            f.link_escalated,
+            f.lanes_masked,
+            f.banks_masked,
+            f.watchdog_escalations,
+            f.watchdog_flushed
+        );
+    }
     let _ = writeln!(out, "\n== metrics ({}) ==", report.metrics.entries().len());
     for (key, value) in report.metrics.entries() {
         match value {

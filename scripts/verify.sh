@@ -23,6 +23,21 @@ if ! git diff --exit-code -- BENCH_fabric.json; then
   exit 1
 fi
 
+echo "==> chaos suite (pinned seeded fault campaigns, all six apps)"
+cargo test -q --release --offline --test chaos
+
+echo "==> chaos determinism gate (same seed => byte-identical report)"
+chaos_a=$(mktemp) ; chaos_b=$(mktemp)
+trap 'rm -f "$chaos_a" "$chaos_b"' EXIT
+cargo run -q --release --offline -p apir-trace -- \
+  run SPEC-SSSP --faults 1 --json "$chaos_a" > /dev/null
+cargo run -q --release --offline -p apir-trace -- \
+  run SPEC-SSSP --faults 1 --json "$chaos_b" > /dev/null
+if ! cmp -s "$chaos_a" "$chaos_b"; then
+  echo "ERROR: two chaos runs with the same seed produced different reports." >&2
+  exit 1
+fi
+
 echo "==> asserting the dependency graph is apir-only"
 external=$(cargo tree --offline --workspace --edges normal,build,dev --prefix none \
   | sed 's/ (\*)$//' | awk 'NF {print $1}' | sort -u | grep -v '^apir' || true)

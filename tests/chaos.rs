@@ -1,0 +1,214 @@
+//! The headline chaos suite: every builtin benchmark, run under the
+//! seeded chaos fault-injection preset, must
+//!
+//! 1. actually suffer a nonzero fault mix (soft errors on fills,
+//!    dropped/late QPI responses, masked rule lanes / queue banks —
+//!    whichever of those the app's structure exposes),
+//! 2. recover to a final memory image equivalent to the fault-free
+//!    sequential interpreter run (same equality tiers as
+//!    `cross_engine.rs`: exact, union-find partition for SPEC-MST,
+//!    checker-only for SPEC-DMR), and
+//! 3. be byte-identical across reruns — the fault schedule is part of
+//!    the deterministic simulation, not noise on top of it.
+//!
+//! Seeds are pinned (three campaigns per app) and were chosen by probing
+//! (`probe_fault_mix` below, `--ignored`): each pinned seed provably
+//! injects every fault class its app can express.
+
+use apir::bench::experiments::{scale_cache, synthesized_cfg};
+use apir::bench::scale::{build_app, APP_NAMES};
+use apir::bench::Scale;
+use apir::core::interp::SeqInterp;
+use apir::core::MemAccess;
+use apir::fabric::{Fabric, FabricConfig, FabricReport, FaultConfig};
+
+/// The synthesized + tuned configuration with chaos faults armed.
+fn chaos_cfg(name: &str, app: &apir::apps::AppInstance, seed: u64) -> FabricConfig {
+    let mut cfg = synthesized_cfg(name, Scale::Tiny);
+    scale_cache(&mut cfg, &app.input);
+    (app.tune)(&mut cfg);
+    cfg.faults = FaultConfig::chaos(seed);
+    cfg
+}
+
+/// Union-find partition equivalence: same connectivity, any tree shape.
+fn same_partition(a: &apir::core::MemImage, b: &apir::core::MemImage, n: u64) {
+    let parent = apir::core::spec::RegionId(0);
+    let find = |mem: &apir::core::MemImage, mut x: u64| {
+        while mem.read(parent, x) != x {
+            x = mem.read(parent, x);
+        }
+        x
+    };
+    for i in 0..n {
+        for j in (i + 1)..n {
+            assert_eq!(
+                find(a, i) == find(a, j),
+                find(b, i) == find(b, j),
+                "partition mismatch at ({i},{j})"
+            );
+        }
+    }
+}
+
+/// Pinned chaos campaigns: three seeds per app (probed; see module doc).
+const CAMPAIGNS: [(&str, [u64; 3]); 6] = [
+    ("SPEC-BFS", [1, 2, 3]),
+    ("COOR-BFS", [1, 2, 3]),
+    ("SPEC-SSSP", [1, 2, 3]),
+    // Seed 3 injects no soft errors into MST's tiny QPI footprint —
+    // probed and replaced with seed 4.
+    ("SPEC-MST", [1, 2, 4]),
+    ("SPEC-DMR", [1, 2, 3]),
+    ("COOR-LU", [1, 2, 3]),
+];
+
+fn run_chaos(name: &str, app: &apir::apps::AppInstance, cfg: FabricConfig) -> FabricReport {
+    Fabric::new(&app.spec, &app.input, cfg)
+        .run()
+        .unwrap_or_else(|e| panic!("{name}: chaos run failed: {e}"))
+}
+
+#[test]
+fn chaos_campaigns_recover_to_fault_free_memory() {
+    for (name, seeds) in CAMPAIGNS {
+        let app = build_app(name, Scale::Tiny);
+        let seq = SeqInterp::run(&app.spec, &app.input).unwrap();
+        (app.check)(&seq.mem).unwrap_or_else(|e| panic!("{name} interp: {e}"));
+        for seed in seeds {
+            let cfg = chaos_cfg(name, &app, seed);
+            let report = run_chaos(name, &app, cfg.clone());
+
+            // (1) The campaign provably injected faults. Memory-side
+            // faults hit every app that touches the cache/QPI path;
+            // structural (lane/bank) faults hit whatever the app's config
+            // leaves maskable: COOR-LU has no rule engines (banks only),
+            // and SPEC-MST's tuned 2-bank queue is reserve-protected by
+            // design — masking it could deadlock recirculation, so the
+            // plan refuses and only its rule lanes are masked.
+            let f = &report.faults;
+            assert!(f.soft_injected > 0, "{name} seed {seed}: no soft errors");
+            assert!(
+                f.link_dropped + f.link_late > 0,
+                "{name} seed {seed}: no link faults"
+            );
+            assert!(
+                f.lanes_masked + f.banks_masked > 0,
+                "{name} seed {seed}: no structural faults"
+            );
+            assert!(
+                f.soft_corrected + f.soft_refetched == f.soft_injected,
+                "{name} seed {seed}: soft errors must be corrected or refetched"
+            );
+
+            // (2) Recovery: the faulty run's final image is equivalent to
+            // the fault-free interpreter run.
+            (app.check)(&report.mem_image)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            match name {
+                "SPEC-MST" => {
+                    let n = app.input.mem.capacity(apir::core::spec::RegionId(0));
+                    same_partition(&seq.mem, &report.mem_image, n as u64);
+                }
+                "SPEC-DMR" => {} // checker-only (commit-order-dependent mesh)
+                _ => {
+                    assert_eq!(
+                        seq.mem,
+                        report.mem_image,
+                        "{name} seed {seed}: final images differ: {:?}",
+                        seq.mem.diff(&report.mem_image, 8)
+                    );
+                }
+            }
+
+            // (3) Determinism: the same seed reproduces the run byte for
+            // byte, fault schedule included.
+            let again = run_chaos(name, &app, cfg);
+            assert_eq!(
+                report.to_json(),
+                again.to_json(),
+                "{name} seed {seed}: chaos rerun diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_report_exposes_fault_metrics_and_json() {
+    // The fault mix is observable through all three surfaces: the typed
+    // stats on the report, the `fault.*` metric keys, and the JSON
+    // document (`apir.fabric.report.v1`).
+    let name = "SPEC-BFS";
+    let app = build_app(name, Scale::Tiny);
+    let report = run_chaos(name, &app, chaos_cfg(name, &app, 1));
+    let f = &report.faults;
+
+    let counter = |key: &str| -> u64 {
+        match report.metrics.get(key) {
+            Some(apir::sim::metrics::MetricValue::Counter(v)) => *v,
+            other => panic!("metric {key}: {other:?}"),
+        }
+    };
+    assert_eq!(counter("fault.mem.soft_injected"), f.soft_injected);
+    assert_eq!(counter("fault.link.dropped"), f.link_dropped);
+    assert_eq!(counter("fault.link.retried"), f.link_retried);
+    assert_eq!(counter("fault.lane.masked"), f.lanes_masked);
+    assert_eq!(counter("fault.bank.masked"), f.banks_masked);
+
+    let doc = apir_util::json::parse(&report.to_json()).expect("valid JSON");
+    let faults = doc.get("faults").expect("faults object");
+    assert_eq!(
+        faults.get("soft_injected").unwrap().as_u64(),
+        Some(f.soft_injected)
+    );
+    assert_eq!(
+        faults.get("link_dropped").unwrap().as_u64(),
+        Some(f.link_dropped)
+    );
+}
+
+#[test]
+fn faults_off_is_the_identity() {
+    // A default (faults-off) config must produce the exact same report as
+    // before the chaos layer existed modulo the always-zero fault block:
+    // the fault path must be invisible when disarmed. Guarded by the
+    // report goldens and the bench baseline too; this pins the stats.
+    let app = build_app("SPEC-BFS", Scale::Tiny);
+    let mut cfg = synthesized_cfg("SPEC-BFS", Scale::Tiny);
+    scale_cache(&mut cfg, &app.input);
+    (app.tune)(&mut cfg);
+    assert!(!cfg.faults.is_enabled());
+    let report = Fabric::new(&app.spec, &app.input, cfg)
+        .run()
+        .expect("fault-free run");
+    assert_eq!(report.faults, apir::fabric::FaultStats::default());
+}
+
+/// Probe harness used to pin the campaign seeds: prints the fault mix per
+/// app per candidate seed. Run with
+/// `cargo test --test chaos probe_fault_mix -- --ignored --nocapture`.
+#[test]
+#[ignore]
+fn probe_fault_mix() {
+    for name in APP_NAMES {
+        let app = build_app(name, Scale::Tiny);
+        for seed in 1..=6u64 {
+            let report = run_chaos(name, &app, chaos_cfg(name, &app, seed));
+            let f = &report.faults;
+            println!(
+                "{name:<10} seed {seed}: cycles={} soft={}/{}c/{}r link={}d/{}l/{}r lanes={} banks={} wd={}/{}",
+                report.cycles,
+                f.soft_injected,
+                f.soft_corrected,
+                f.soft_refetched,
+                f.link_dropped,
+                f.link_late,
+                f.link_retried,
+                f.lanes_masked,
+                f.banks_masked,
+                f.watchdog_escalations,
+                f.watchdog_flushed,
+            );
+        }
+    }
+}

@@ -278,6 +278,109 @@ fn load_against_plain_store_is_apir402() {
     assert!(s.build().is_ok());
 }
 
+// ---- fabric-config family (APIR5xx) ----
+
+#[test]
+fn zero_fabric_resource_is_apir501() {
+    use apir::fabric::FabricConfig;
+    let cfg = FabricConfig {
+        pipelines_per_set: 0,
+        ..FabricConfig::default()
+    };
+    let report = cfg.validate();
+    assert!(has_at_least(&report, Lint::ZeroFabricResource, Severity::Error));
+    assert_eq!(Lint::ZeroFabricResource.code(), "APIR501");
+    // The fabric refuses to run under a degenerate config.
+    let mut s = apir::core::Spec::new("tiny");
+    let ts = s.task_set("t", TaskSetKind::ForEach, 1, &["x"]);
+    let mut b = s.body(ts);
+    b.field(0);
+    b.finish();
+    let s = s.build().unwrap();
+    let input = apir::core::ProgramInput::new(&s);
+    let cfg = FabricConfig {
+        pipelines_per_set: 0,
+        ..FabricConfig::default()
+    };
+    let err = apir::fabric::Fabric::new(&s, &input, cfg).run().unwrap_err();
+    match err {
+        apir::fabric::FabricError::RejectedByLint { report } => {
+            assert!(report.contains("APIR501"), "{report}");
+        }
+        other => panic!("expected lint rejection, got {other}"),
+    }
+}
+
+#[test]
+fn misordered_watchdog_is_apir502() {
+    use apir::fabric::FabricConfig;
+    let cfg = FabricConfig {
+        rendezvous_timeout: 200_000,
+        deadlock_cycles: 100_000,
+        ..FabricConfig::default()
+    };
+    let report = cfg.validate();
+    assert!(has_at_least(&report, Lint::WatchdogMisordered, Severity::Error));
+    assert_eq!(Lint::WatchdogMisordered.code(), "APIR502");
+}
+
+#[test]
+fn fault_rate_out_of_range_is_apir503() {
+    use apir::fabric::{FabricConfig, FaultConfig};
+    let mut cfg = FabricConfig::default();
+    cfg.faults = FaultConfig {
+        drop_rate: 1.5,
+        ..FaultConfig::default()
+    };
+    let report = cfg.validate();
+    assert!(has_at_least(&report, Lint::FaultRateOutOfRange, Severity::Error));
+    assert_eq!(Lint::FaultRateOutOfRange.code(), "APIR503");
+    // NaN is out of range too, not silently accepted.
+    cfg.faults.drop_rate = f64::NAN;
+    assert!(has_at_least(
+        &cfg.validate(),
+        Lint::FaultRateOutOfRange,
+        Severity::Error
+    ));
+}
+
+#[test]
+fn degenerate_fault_plan_is_apir504() {
+    use apir::fabric::{FabricConfig, FaultConfig};
+    let mut cfg = FabricConfig::default();
+    cfg.faults = FaultConfig {
+        lane_fault_rate: 0.5,
+        fault_window: 0,
+        ..FaultConfig::default()
+    };
+    let report = cfg.validate();
+    assert!(has_at_least(&report, Lint::DegenerateFaultPlan, Severity::Error));
+    assert_eq!(Lint::DegenerateFaultPlan.code(), "APIR504");
+    // A drop plan whose retry clock never ticks is equally degenerate.
+    cfg.faults = FaultConfig {
+        drop_rate: 0.1,
+        retry_timeout: 0,
+        ..FaultConfig::default()
+    };
+    assert!(has_at_least(
+        &cfg.validate(),
+        Lint::DegenerateFaultPlan,
+        Severity::Error
+    ));
+}
+
+#[test]
+fn builtin_fabric_configs_are_lint_clean() {
+    for (name, cfg) in apir::check::builtin_fabric_configs() {
+        let report = cfg.validate();
+        assert!(
+            !report.has_errors(),
+            "{name} has config errors:\n{}",
+            report.render_text()
+        );
+    }
+}
+
 // ---- seeded single-mutation corruption sweep ----
 
 /// Builds one corrupted spec per mutation kind, returning the lint the

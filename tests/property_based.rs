@@ -208,6 +208,39 @@ props! {
         }
     }
 
+    /// Under a seeded fault storm the observability layer keeps its
+    /// books: the trace ring's conservation invariant holds (records
+    /// emitted == retained + dropped — fault events multiply trace volume
+    /// but must never be lost silently), and the metrics snapshot stays
+    /// key-sorted with the `fault.*` family interleaved.
+    fn fault_storm_keeps_trace_and_metric_invariants(g) {
+        let seed = g.gen_range(0u64..1000);
+        let cap = g.gen_range(64usize..2048);
+        let graph = std::sync::Arc::new(gen::road_network(6, 6, 0.85, 4, seed));
+        let app = apir::apps::bfs::build(graph, 0, apir::apps::bfs::BfsVariant::Spec);
+        let mut cfg = FabricConfig {
+            trace_capacity: cap,
+            ..FabricConfig::default()
+        };
+        cfg.faults = apir::fabric::FaultConfig::chaos(seed);
+        let r = Fabric::new(&app.spec, &app.input, cfg).run().unwrap();
+        assert!((app.check)(&r.mem_image).is_ok());
+        let t = r.trace.as_ref().expect("tracing enabled");
+        assert_eq!(
+            t.emitted(),
+            t.len() as u64 + t.dropped(),
+            "trace ring lost records"
+        );
+        let keys: Vec<&str> = r.metrics.entries().iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "metrics snapshot is not key-sorted");
+        assert!(
+            keys.iter().any(|k| k.starts_with("fault.")),
+            "fault.* keys missing from the snapshot"
+        );
+    }
+
     /// Commutative fetch-and-add workloads give identical images on the
     /// fabric regardless of configuration.
     fn fabric_faa_deterministic(g) {

@@ -1,0 +1,151 @@
+//! Robustness-path tests: the progress watchdog's escalation ladder,
+//! rendezvous timeout bounces, and the partial reports carried by every
+//! runtime error (`Deadlock`, `MaxCycles`, `LinkFailed`).
+
+use apir::bench::experiments::{scale_cache, synthesized_cfg};
+use apir::bench::scale::build_app;
+use apir::bench::Scale;
+use apir::core::interp::SeqInterp;
+use apir::core::op::AluOp;
+use apir::core::spec::{Spec, TaskSetKind};
+use apir::core::ProgramInput;
+use apir::fabric::{Fabric, FabricConfig, FabricError, FaultConfig};
+
+/// A one-task spec whose only work is a cold-cache load: the miss's QPI
+/// round trip is the longest silent (no-progress) stretch the fabric has.
+fn one_miss_spec() -> (Spec, ProgramInput) {
+    let mut s = Spec::new("one-miss");
+    let r = s.region("data", 64);
+    let ts = s.task_set("t", TaskSetKind::ForEach, 1, &["i"]);
+    let mut b = s.body(ts);
+    let i = b.field(0);
+    let v = b.load(r, i);
+    let one = b.konst(1);
+    let v1 = b.alu(AluOp::Add, v, one);
+    b.store_plain(r, i, v1);
+    b.finish();
+    let s = s.build().unwrap();
+    let mut input = ProgramInput::new(&s);
+    input.seed(&s, ts, &[0]);
+    (s, input)
+}
+
+#[test]
+fn watchdog_escalation_rescues_a_slow_miss() {
+    // Shrink the watchdog window below the miss latency: the silent QPI
+    // round trip trips the watchdog, the free escalation runs (a no-op
+    // here — nothing to force or flush), and the run must then complete
+    // instead of being declared dead.
+    let (s, input) = one_miss_spec();
+    let cfg = FabricConfig {
+        deadlock_cycles: 30,
+        rendezvous_timeout: 16,
+        ..FabricConfig::default()
+    };
+    let report = Fabric::new(&s, &input, cfg)
+        .run()
+        .expect("escalation must rescue the stalled miss");
+    assert_eq!(report.retired, vec![1]);
+    assert!(
+        report.faults.watchdog_escalations >= 1,
+        "the watchdog never fired: {:?}",
+        report.faults
+    );
+}
+
+#[test]
+fn true_deadlock_carries_partial_report_and_diagnostics() {
+    // Strangle the QPI link so the miss can never be admitted: the first
+    // watchdog window escalates (futile), the second declares deadlock.
+    // The error must carry the partial report and the extended
+    // diagnostics (queue occupancy, in-flight transfer ages).
+    let (s, input) = one_miss_spec();
+    let mut cfg = FabricConfig {
+        deadlock_cycles: 100,
+        rendezvous_timeout: 16,
+        ..FabricConfig::default()
+    };
+    cfg.mem.qpi_gbps = 1e-9;
+    let err = Fabric::new(&s, &input, cfg).run().unwrap_err();
+    let FabricError::Deadlock {
+        cycle,
+        ref diagnostics,
+        ..
+    } = err
+    else {
+        panic!("expected Deadlock, got {err}");
+    };
+    assert!(cycle > 100, "deadlock declared too early at {cycle}");
+    assert!(
+        diagnostics.contains("mshr_ages"),
+        "missing MSHR ages: {diagnostics}"
+    );
+    let report = err.partial_report().expect("deadlock carries a report");
+    assert_eq!(report.cycles, cycle);
+    assert!(
+        report.faults.watchdog_escalations >= 1,
+        "deadlock must only be declared after an escalation attempt"
+    );
+    // The partial report still renders valid deterministic JSON.
+    let doc = apir_util::json::parse(&report.to_json()).expect("valid JSON");
+    assert!(doc.get("faults").is_some());
+}
+
+#[test]
+fn exhausted_link_retries_escalate_to_link_failed() {
+    // Certain drop: every QPI admission is lost, the bounded retry ladder
+    // runs dry, and the fabric reports the permanent link failure with a
+    // partial report instead of spinning forever.
+    let (s, input) = one_miss_spec();
+    let mut cfg = FabricConfig::default();
+    cfg.faults = FaultConfig {
+        seed: 7,
+        drop_rate: 1.0,
+        retry_timeout: 4,
+        max_retries: 2,
+        ..FaultConfig::default()
+    };
+    let err = Fabric::new(&s, &input, cfg).run().unwrap_err();
+    let FabricError::LinkFailed {
+        cycle,
+        ref diagnostics,
+        ..
+    } = err
+    else {
+        panic!("expected LinkFailed, got {err}");
+    };
+    assert!(cycle > 0);
+    assert!(
+        diagnostics.contains("dropped"),
+        "diagnostics must name the lost transfer: {diagnostics}"
+    );
+    let report = err.partial_report().expect("link failure carries a report");
+    assert_eq!(report.faults.link_escalated, 1);
+    assert!(report.faults.link_dropped > report.faults.link_retried);
+}
+
+#[test]
+fn rendezvous_timeouts_bounce_and_still_retire() {
+    // Satellite: pin the bounce path. COOR-BFS parks tasks in rendezvous
+    // stations waiting for the serializing rule; with a tiny timeout they
+    // bounce (verdict false), requeue, and retry — the run must still
+    // retire everything and produce the exact interpreter image.
+    let name = "COOR-BFS";
+    let app = build_app(name, Scale::Tiny);
+    let mut cfg = synthesized_cfg(name, Scale::Tiny);
+    scale_cache(&mut cfg, &app.input);
+    (app.tune)(&mut cfg);
+    cfg.rendezvous_timeout = 8;
+    let report = Fabric::new(&app.spec, &app.input, cfg)
+        .run()
+        .expect("bounced run still completes");
+    assert!(report.bounces > 0, "timeout never bounced anyone");
+    (app.check)(&report.mem_image).expect("bounced run is still correct");
+    let seq = SeqInterp::run(&app.spec, &app.input).unwrap();
+    assert_eq!(
+        seq.mem,
+        report.mem_image,
+        "bounces must not change the final image: {:?}",
+        seq.mem.diff(&report.mem_image, 8)
+    );
+}
