@@ -2,20 +2,23 @@
 //!
 //! [`baseline_json`] runs all six builtin apps on their synthesized
 //! accelerators at a pinned scale (every workload generator is seeded,
-//! so the document is a pure function of the code) and renders per-app
-//! `{cycles, utilization, mem.hits, mem.misses, retired, squashes}`.
-//! Because the fabric is deterministic and the JSON renderer is
-//! insertion-ordered, **two runs produce byte-identical documents** —
-//! [`emit_baseline`] asserts exactly that before writing, and
-//! [`validate_baseline`] checks any document against the schema (the
-//! `verify.sh` bench-smoke gate runs both).
+//! so the simulated counters are a pure function of the code) and
+//! renders per-app `{cycles, utilization, mem.hits, mem.misses,
+//! retired, squashes, wall_ms, mcycles_per_sec}`. The first six keys
+//! are deterministic; the two wall-clock keys (v2) measure the host
+//! machine and change run to run, so every byte-identity comparison —
+//! [`emit_baseline`]'s double-run assert, the `verify.sh` bench-smoke
+//! `git diff` — excludes them (see [`strip_wall_lines`]).
+//! [`validate_baseline`] checks any document against the schema.
 
-use crate::experiments::{run_verified, synthesized_cfg};
-use crate::scale::{Scale, APP_NAMES};
+use crate::experiments::{scale_cache, synthesized_cfg};
+use crate::scale::{build_app, Scale, APP_NAMES};
+use apir_fabric::Fabric;
 use apir_util::json::{parse, Json};
 
-/// Schema identifier embedded in the baseline document.
-pub const BASELINE_SCHEMA: &str = "apir.bench.fabric.v1";
+/// Schema identifier embedded in the baseline document. `v2` added the
+/// host wall-clock keys `wall_ms` and `mcycles_per_sec` per app.
+pub const BASELINE_SCHEMA: &str = "apir.bench.fabric.v2";
 
 /// The pinned scale of the checked-in baseline (seeded generators make
 /// scale + code → a unique document).
@@ -24,7 +27,7 @@ pub const BASELINE_SCALE: Scale = Scale::Tiny;
 /// Canonical file name of the baseline.
 pub const BASELINE_FILE: &str = "BENCH_fabric.json";
 
-/// Per-app result keys every baseline entry must carry.
+/// Per-app *deterministic* result keys every baseline entry must carry.
 pub const APP_KEYS: [&str; 6] = [
     "cycles",
     "utilization",
@@ -34,14 +37,46 @@ pub const APP_KEYS: [&str; 6] = [
     "squashes",
 ];
 
+/// Per-app wall-clock keys (v2): host-dependent, excluded from every
+/// byte-identity comparison.
+pub const WALL_KEYS: [&str; 2] = ["wall_ms", "mcycles_per_sec"];
+
+/// Drops the lines carrying wall-clock keys so two documents can be
+/// compared for the determinism contract (the pretty renderer puts one
+/// key per line; `verify.sh` applies the same filter with `git diff -I`).
+pub fn strip_wall_lines(doc: &str) -> String {
+    doc.lines()
+        .filter(|l| !WALL_KEYS.iter().any(|k| l.contains(k)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 /// Runs the six builtin apps at `scale` and renders the baseline
 /// document (pretty, trailing newline — it is meant to be diffed).
+/// `Fabric::run` alone is timed, not workload generation or result
+/// verification, so `mcycles_per_sec` is the simulator's own rate.
 pub fn baseline_json(scale: Scale) -> String {
     let apps: Vec<(String, Json)> = APP_NAMES
         .iter()
         .map(|name| {
-            let cfg = synthesized_cfg(name, scale);
-            let (_, r) = run_verified(name, scale, cfg);
+            let mut cfg = synthesized_cfg(name, scale);
+            let app = build_app(name, scale);
+            scale_cache(&mut cfg, &app.input);
+            (app.tune)(&mut cfg);
+            let fabric = Fabric::new(&app.spec, &app.input, cfg);
+            let t0 = std::time::Instant::now();
+            let r = fabric
+                .run()
+                .unwrap_or_else(|e| panic!("{name}: fabric failed: {e}"));
+            let wall = t0.elapsed();
+            (app.check)(&r.mem_image)
+                .unwrap_or_else(|e| panic!("{name}: bad result: {e}"));
+            let wall_ms = wall.as_secs_f64() * 1e3;
+            let mcps = if wall.as_secs_f64() > 0.0 {
+                r.cycles as f64 / 1e6 / wall.as_secs_f64()
+            } else {
+                0.0
+            };
             let entry = Json::obj([
                 ("cycles", Json::U64(r.cycles)),
                 ("utilization", Json::Num(r.utilization)),
@@ -49,6 +84,10 @@ pub fn baseline_json(scale: Scale) -> String {
                 ("mem.misses", Json::U64(r.mem.misses)),
                 ("retired", Json::U64(r.total_retired())),
                 ("squashes", Json::U64(r.squashes)),
+                // Rounded so the noise floor doesn't suggest precision
+                // the measurement doesn't have.
+                ("wall_ms", Json::Num((wall_ms * 1e3).round() / 1e3)),
+                ("mcycles_per_sec", Json::Num((mcps * 1e2).round() / 1e2)),
             ]);
             (name.to_string(), entry)
         })
@@ -101,13 +140,25 @@ pub fn validate_baseline(doc: &str) -> Result<(), String> {
                     .ok_or_else(|| format!("{name}: `{key}` not a non-negative integer"))?;
             }
         }
+        for key in WALL_KEYS {
+            let v = entry
+                .get(key)
+                .ok_or_else(|| format!("{name}: missing `{key}`"))?
+                .as_f64()
+                .ok_or_else(|| format!("{name}: `{key}` not a number"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name}: `{key}` is {v}, not a finite non-negative"));
+            }
+        }
     }
     Ok(())
 }
 
 /// Generates the baseline **twice**, asserts the two renderings are
-/// byte-identical (the determinism contract), validates the schema, and
-/// writes the document to `path`.
+/// byte-identical after dropping the wall-clock lines (the determinism
+/// contract covers every simulated counter; host timing is expected to
+/// jitter), validates the schema, and writes the first document to
+/// `path`.
 ///
 /// # Errors
 ///
@@ -121,7 +172,8 @@ pub fn emit_baseline(path: &std::path::Path, scale: Scale) -> Result<(), String>
     let first = baseline_json(scale);
     let second = baseline_json(scale);
     assert_eq!(
-        first, second,
+        strip_wall_lines(&first),
+        strip_wall_lines(&second),
         "baseline generation is nondeterministic — fabric determinism bug"
     );
     validate_baseline(&first)?;
@@ -136,8 +188,22 @@ mod tests {
     fn baseline_is_valid_and_deterministic() {
         let a = baseline_json(Scale::Tiny);
         let b = baseline_json(Scale::Tiny);
-        assert_eq!(a, b, "two generations must be byte-identical");
+        assert_eq!(
+            strip_wall_lines(&a),
+            strip_wall_lines(&b),
+            "two generations must be byte-identical outside wall-clock lines"
+        );
         validate_baseline(&a).expect("schema-valid");
+    }
+
+    #[test]
+    fn strip_wall_lines_removes_only_wall_keys() {
+        let doc = "{\n  \"cycles\": 5,\n  \"wall_ms\": 1.25,\n  \"mcycles_per_sec\": 80.0,\n  \"retired\": 3\n}";
+        let stripped = strip_wall_lines(doc);
+        assert!(stripped.contains("cycles"));
+        assert!(stripped.contains("retired"));
+        assert!(!stripped.contains("wall_ms"));
+        assert!(!stripped.contains("mcycles_per_sec"));
     }
 
     #[test]
@@ -155,7 +221,7 @@ mod tests {
                 .iter()
                 .map(|n| {
                     format!(
-                        r#""{n}":{{"cycles":{cycles},"utilization":{util},"mem.hits":0,"mem.misses":0,"retired":1,"squashes":0}}"#
+                        r#""{n}":{{"cycles":{cycles},"utilization":{util},"mem.hits":0,"mem.misses":0,"retired":1,"squashes":0,"wall_ms":1.5,"mcycles_per_sec":12.0}}"#
                     )
                 })
                 .collect();

@@ -139,12 +139,25 @@ pub enum Lint {
     ZeroFabricResource,
     /// `APIR502` — `rendezvous_timeout >= deadlock_cycles`: the bounce
     /// path can never fire before the watchdog declares deadlock, so
-    /// station-full stalls are unrecoverable.
+    /// station-full stalls are unrecoverable. (A waiting rendezvous
+    /// entry inserted at cycle `t` bounces at `t + rendezvous_timeout
+    /// + 1`; the watchdog expires once `cycle - last_progress >
+    /// deadlock_cycles`.)
     WatchdogMisordered,
     /// `APIR503` — a fault-injection rate is outside `[0, 1]` or NaN.
+    /// Lane/bank rates are *per-trial* probabilities: they are drawn
+    /// once per fault window per engine/queue, not per cycle.
     FaultRateOutOfRange,
     /// `APIR504` — fault injection enabled with a degenerate plan (zero
     /// fault window, or drops enabled with a zero retry timeout).
+    ///
+    /// Windowed lane/bank trials run at cycles ≡ `1 (mod fault_window)`
+    /// — cycles `1, fw+1, 2fw+1, ...` — and at *every* cycle when
+    /// `fault_window == 1` (the residue is `1 % 1 == 0`). A window of
+    /// zero means no cycle ever qualifies, so the configured rates
+    /// silently never apply; that is the degenerate plan this lint
+    /// rejects. `fault_window == 1` is legal (maximum trial pressure),
+    /// not degenerate.
     DegenerateFaultPlan,
 }
 

@@ -20,7 +20,7 @@ use apir_util::Json;
 pub const REPORT_SCHEMA: &str = "apir.fabric.report.v1";
 
 fn histogram_json(h: &Histogram) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("count", Json::U64(h.count())),
         ("sum", Json::U64(h.sum())),
         ("max", Json::U64(h.max())),
@@ -31,7 +31,15 @@ fn histogram_json(h: &Histogram) -> Json {
                     .map(|(bound, n)| Json::arr([Json::U64(bound), Json::U64(n)])),
             ),
         ),
-    ])
+    ];
+    // A capped sum is no longer exact; flag it so downstream consumers
+    // (apir-trace summaries, bench tooling) don't trust the mean. The
+    // field appears only when set, keeping unsaturated documents — i.e.
+    // every pinned golden — byte-identical to the v1 rendering.
+    if h.saturated() {
+        fields.push(("saturated", Json::Bool(true)));
+    }
+    Json::obj(fields)
 }
 
 fn metrics_json(snap: &MetricsSnapshot) -> Json {
@@ -179,5 +187,39 @@ mod tests {
         let json = tiny_report().to_json();
         assert!(!json.contains("mem_image"));
         assert!(!json.contains("retirements"));
+    }
+
+    #[test]
+    fn empty_histogram_round_trips_without_nan() {
+        let mut m = apir_sim::metrics::MetricsRegistry::new();
+        let _h = m.histogram("empty.hist");
+        let mut r = tiny_report();
+        r.metrics = m.snapshot();
+        let json = r.to_json();
+        assert!(!json.contains("NaN"), "no NaN leaks into the document");
+        let parsed = apir_util::json::parse(&json).expect("valid JSON");
+        let h = parsed
+            .get("metrics")
+            .unwrap()
+            .get("empty.hist")
+            .expect("histogram rendered");
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(0));
+        assert_eq!(h.get("sum").unwrap().as_u64(), Some(0));
+        assert!(h.get("saturated").is_none(), "flag absent when unset");
+    }
+
+    #[test]
+    fn saturated_histogram_is_flagged() {
+        let mut m = apir_sim::metrics::MetricsRegistry::new();
+        let h = m.histogram("hot.hist");
+        m.observe(h, u64::MAX);
+        m.observe(h, u64::MAX); // sum caps; flag must surface
+        let mut r = tiny_report();
+        r.metrics = m.snapshot();
+        let json = r.to_json();
+        let parsed = apir_util::json::parse(&json).expect("valid JSON");
+        let h = parsed.get("metrics").unwrap().get("hot.hist").unwrap();
+        assert_eq!(h.get("saturated").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(h.get("sum").unwrap().as_u64(), Some(u64::MAX));
     }
 }

@@ -485,7 +485,7 @@ impl Fabric {
             return Err(FabricError::RejectedByLint { report });
         }
         loop {
-            self.tick();
+            let moved = self.tick();
             if let Some(lf) = self.mem.link_failure() {
                 let cycle = self.cycle;
                 let diagnostics = format!(
@@ -526,6 +526,17 @@ impl Fabric {
                     diagnostics,
                     report: Box::new(self.into_report()),
                 });
+            }
+            // Event wheel: a quiescent tick would repeat identically
+            // until the earliest pending wake, so jump to the cycle
+            // *before* it — the next `tick` lands exactly on the wake.
+            // Clamped to `max_cycles` so a timing-out run stops on the
+            // same cycle as the dense loop.
+            if !moved && !self.cfg.dense_tick {
+                let wake = self.next_wake().min(self.cfg.max_cycles);
+                if wake > self.cycle + 1 {
+                    self.fast_forward(wake - self.cycle - 1);
+                }
             }
         }
     }
@@ -671,11 +682,25 @@ impl Fabric {
         }
     }
 
-    /// One clock cycle.
-    pub fn tick(&mut self) {
+    /// One clock cycle. Returns whether any module changed state this
+    /// cycle ("moved") — the event wheel's quiescence signal. A tick
+    /// that returns `false` would repeat byte-identically every cycle
+    /// until the next scheduled wake (a latency pipe maturing, a retry
+    /// backoff expiring, a bandwidth credit covering a blocked
+    /// transfer, a fault-window trial, a rendezvous timeout, or the
+    /// watchdog), so [`Fabric::run`] may jump straight to that wake.
+    ///
+    /// `moved` is deliberately wider than the watchdog's `progress`: a
+    /// stage can be busy without making forward progress (pure ALU
+    /// work, a guard-fail pass-through, a rendezvous bounce), and the
+    /// memory subsystem can accept or re-arm transfers that pay off
+    /// only cycles later. Skipping such a cycle would change state;
+    /// skipping a `!moved` cycle cannot.
+    pub fn tick(&mut self) -> bool {
         self.cycle += 1;
         let now = self.cycle;
         let mut progress = false;
+        let mut moved = false;
         // Totals whose per-cycle deltas become trace records.
         let snap = self.trace.as_ref().map(|_| TickSnap {
             mem: self.mem.stats(),
@@ -686,16 +711,23 @@ impl Fabric {
         });
 
         // 0) Fault campaign: windowed lane/bank hard-fault trials, then
-        // respill of tokens drained from masked banks.
+        // respill of tokens drained from masked banks. Trials run at
+        // cycles ≡ 1 (mod fw) — every cycle when `fw == 1`, since
+        // `1 % 1 == 0`. (The old plain `now % fw == 1` comparison never
+        // fired for a one-cycle window: no cycle satisfies
+        // `now % 1 == 1`.)
         let fw = self.cfg.faults.fault_window;
-        if fw > 0 && now % fw == 1 {
+        if fw > 0 && now % fw == 1 % fw {
+            // Armed trials consume RNG draws even when masking fails,
+            // so a trial cycle is never quiescent.
+            moved |= self.fault_trials_armed();
             self.inject_window_faults(now);
         }
         progress |= self.drain_fault_respill();
 
         // 1) Memory subsystem: completions -> response ports.
         let mut responses = Vec::new();
-        self.mem.tick(now, &mut responses);
+        moved |= self.mem.tick(now, &mut responses);
         for (port, tag, word) in responses {
             self.resp[port as usize].push_back((tag, word));
             progress = true;
@@ -740,7 +772,7 @@ impl Fabric {
         let mut rule_out = Vec::new();
         let bus = std::mem::take(&mut self.bus_current);
         for e in &mut self.engines {
-            e.tick(&bus, global_min, &mut rule_out);
+            moved |= e.tick(&bus, global_min, &mut rule_out);
         }
         for (port, tag, word) in rule_out {
             self.resp[port as usize].push_back((tag, word));
@@ -773,7 +805,7 @@ impl Fabric {
                 )
             });
             let p = &mut self.pipelines[pi];
-            progress |= tick_pipeline(
+            let (p_progress, p_active) = tick_pipeline(
                 p,
                 &self.spec,
                 now,
@@ -794,6 +826,8 @@ impl Fabric {
                 self.cfg.record_retirements.then_some(&mut self.retire_log),
                 self.trace.as_mut(),
             );
+            progress |= p_progress;
+            moved |= p_active;
             if let Some((r0, s0, q0, b0)) = before {
                 let comp = self.pipelines[pi].comp;
                 let tr = self.trace.as_mut().expect("snap implies trace");
@@ -837,6 +871,95 @@ impl Fabric {
             self.last_progress = self.cycle;
             // A fresh no-progress window earns a fresh escalation.
             self.escalated = false;
+        }
+        moved || progress
+    }
+
+    /// Do the windowed fault trials consume RNG draws on this fabric?
+    /// Zero-rate draws short-circuit without touching the generator, so
+    /// they neither move state nor need event-wheel wakes.
+    fn fault_trials_armed(&self) -> bool {
+        self.cfg.faults.lane_fault_rate > 0.0 || self.cfg.faults.bank_fault_rate > 0.0
+    }
+
+    /// Earliest future cycle at which anything can happen, given that
+    /// the tick at `self.cycle` moved nothing. Always finite — the
+    /// watchdog deadline bounds every wait — and never later than the
+    /// first cycle the dense loop would act on, so jumping here is
+    /// semantically invisible.
+    fn next_wake(&self) -> u64 {
+        let now = self.cycle;
+        // The watchdog fires on the first cycle where
+        // `cycle - last_progress > deadlock_cycles`.
+        let mut wake = self.last_progress + self.cfg.deadlock_cycles + 1;
+        let mut consider = |c: u64| {
+            let c = c.max(now + 1);
+            if c < wake {
+                wake = c;
+            }
+        };
+        if let Some(c) = self.mem.next_wake(now) {
+            consider(c);
+        }
+        let fw = self.cfg.faults.fault_window;
+        if fw > 0 && self.fault_trials_armed() {
+            // Next cycle > now that is ≡ 1 (mod fw).
+            let mut delta = (1 % fw + fw - now % fw) % fw;
+            if delta == 0 {
+                delta = fw;
+            }
+            consider(now + delta);
+        }
+        // Rendezvous stations self-wake through their timeout; every
+        // other station waits on memory or extern completions, which
+        // the candidates above (or extern-busy forcing dense ticks)
+        // already cover.
+        let timeout = self.cfg.rendezvous_timeout;
+        for p in &self.pipelines {
+            for st in &p.stages {
+                if !matches!(st.op, BodyOp::Rendezvous { .. }) {
+                    continue;
+                }
+                if let Some(born) = st
+                    .station
+                    .as_ref()
+                    .and_then(OutOfOrderStation::oldest_waiting_insert)
+                {
+                    consider(born + timeout + 1);
+                }
+            }
+        }
+        drop(consider);
+        wake
+    }
+
+    /// Jumps the clock forward `k` quiescent cycles, replaying exactly
+    /// the per-cycle side effects the dense loop would have produced:
+    /// bandwidth-credit accrual (bit-exact — see
+    /// [`apir_sim::bandwidth::BandwidthMeter::tick_n`]), the per-cycle
+    /// occupancy histograms, and per-stage activity accounting. A
+    /// quiescent stage repeats the stall/idle state of the preceding
+    /// dense tick, so no trace transition fires, and counters and
+    /// gauges are level-valued, so re-publishing them would be a no-op.
+    fn fast_forward(&mut self, k: u64) {
+        self.cycle += k;
+        self.mem.fast_forward(k);
+        self.mem
+            .publish_skipped(&self.mids.mem, &mut self.metrics, k);
+        for (q, ids) in self.queues.iter().zip(self.mids.queues.iter()) {
+            q.publish_skipped(ids, &mut self.metrics, k);
+        }
+        for p in &mut self.pipelines {
+            for (latch, st) in p.latches.iter().zip(p.stages.iter_mut()) {
+                let waiting = latch.is_some()
+                    || st.station.as_ref().is_some_and(|s| !s.is_empty());
+                let state = if waiting {
+                    Activity::Stall
+                } else {
+                    Activity::Idle
+                };
+                st.tracker.record_n(state, k);
+            }
         }
     }
 
@@ -1050,7 +1173,11 @@ fn tick_extern_unit(
     progress
 }
 
-/// Ticks one pipeline, tail to head; returns whether anything moved.
+/// Ticks one pipeline, tail to head. Returns `(progress, active)`:
+/// `progress` feeds the deadlock watchdog (forward progress only),
+/// `active` is the wider event-wheel quiescence signal — any stage
+/// doing *anything* this cycle, including non-progress work like pure
+/// ALU moves, guard-fail pass-throughs, and rendezvous timeout bounces.
 #[allow(clippy::too_many_arguments)]
 fn tick_pipeline(
     p: &mut Pipeline,
@@ -1072,9 +1199,10 @@ fn tick_pipeline(
     bounces: &mut u64,
     retire_log: Option<&mut Vec<(u64, usize)>>,
     mut trace: Option<&mut EventTrace>,
-) -> bool {
+) -> (bool, bool) {
     let n = p.stages.len();
     let mut progress = false;
+    let mut active = false;
     let set = p.set;
     let retired_before: u64 = retired.iter().sum();
 
@@ -1107,6 +1235,10 @@ fn tick_pipeline(
                     };
                     engines[rule.0].cancel(tag);
                     *bounces += 1;
+                    // A bounce mutates the station and the engine but is
+                    // not watchdog progress: flag it for the event wheel
+                    // so back-to-back bounces are never skipped over.
+                    active = true;
                 }
             }
             // One completion may advance per cycle (station output port).
@@ -1520,6 +1652,7 @@ fn tick_pipeline(
             *latch_cur = stalled_ctx;
         }
 
+        active |= busy;
         // Activity accounting.
         let waiting = p.latches[i].is_some()
             || p.stages[i]
@@ -1564,7 +1697,7 @@ fn tick_pipeline(
             progress = true;
         }
     }
-    progress
+    (progress, active || progress)
 }
 
 /// Moves a context to the next latch, or retires it at the pipeline tail.

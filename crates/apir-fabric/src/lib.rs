@@ -86,6 +86,16 @@ pub struct FabricConfig {
     /// oldest records are evicted and counted in
     /// [`apir_sim::trace::EventTrace::dropped`].
     pub trace_capacity: usize,
+    /// Force the dense per-cycle scheduler instead of the event wheel.
+    ///
+    /// By default the fabric skips quiescent stretches (no module made
+    /// progress and every latency source's next wake cycle is known) by
+    /// jumping straight to the earliest pending wake. The skip is
+    /// semantically invisible — every counter, histogram, fault draw,
+    /// and retirement is byte-identical to the dense loop; only wall
+    /// clock changes. This flag keeps the dense loop available as a
+    /// differential oracle (`tests/scheduler_equiv.rs`, `verify.sh`).
+    pub dense_tick: bool,
 }
 
 impl Default for FabricConfig {
@@ -106,6 +116,7 @@ impl Default for FabricConfig {
             deadlock_cycles: 100_000,
             record_retirements: false,
             trace_capacity: 0,
+            dense_tick: false,
         }
     }
 }

@@ -362,7 +362,14 @@ impl MemorySubsystem {
     /// Advances one cycle: admits requests, serves completions into
     /// `responses` as `(port, tag, word)` triples. The caller must route
     /// responses and then call [`MemorySubsystem::commit`].
-    pub fn tick(&mut self, now: Cycle, responses: &mut Vec<(u32, u64, u64)>) {
+    ///
+    /// Returns whether the subsystem changed any state this cycle (a
+    /// re-arm, completion, admission, or acceptance) — the event-wheel
+    /// scheduler's quiescence signal. The bandwidth meter's credit
+    /// accrual does not count: it is replayed exactly across skipped
+    /// cycles by [`MemorySubsystem::fast_forward`].
+    pub fn tick(&mut self, now: Cycle, responses: &mut Vec<(u32, u64, u64)>) -> bool {
+        let mut active = false;
         self.qpi.tick();
         let line_words = (self.cfg.line_bytes / 8) as u64;
         // 0) Re-arm dropped transfers whose backoff expired (ahead of the
@@ -375,6 +382,7 @@ impl MemorySubsystem {
                     plan.stats.link_retried += 1;
                 }
                 self.miss_wait.push_front(entry);
+                active = true;
             } else {
                 i += 1;
             }
@@ -382,8 +390,10 @@ impl MemorySubsystem {
         // 1) Completions (functional effect happens here).
         while let Some(req) = self.hit_pipe.pop_ready(now) {
             responses.push(self.complete(req));
+            active = true;
         }
         while let Some(mut entry) = self.miss_pipe.pop_ready(now) {
+            active = true;
             // The fill just crossed the link: run the modeled ECC check.
             match self.faults.as_mut().and_then(FaultPlan::draw_fill) {
                 Some(SoftError::MultiBit) => {
@@ -409,6 +419,7 @@ impl MemorySubsystem {
         }
         while let Some(req) = self.write_pipe.pop_ready(now) {
             responses.push(self.complete(req));
+            active = true;
         }
         // 2) Admit waiting misses (bandwidth + MSHR bound).
         while let Some(entry) = self.miss_wait.front().copied() {
@@ -426,6 +437,7 @@ impl MemorySubsystem {
             }
             self.stats.qpi_bytes += bytes;
             self.miss_wait.pop_front();
+            active = true;
             // The transfer is on the wire: draw its link fate.
             match self.faults.as_mut().and_then(FaultPlan::draw_link) {
                 Some(LinkFault::Dropped) => {
@@ -474,6 +486,7 @@ impl MemorySubsystem {
                 break;
             }
             let Some(req) = self.requests.pop() else { break };
+            active = true;
             let addr_words = self.bases[req.region.0] + req.offset;
             let entry = MissEntry {
                 req,
@@ -503,11 +516,78 @@ impl MemorySubsystem {
                 }
             }
         }
+        active
     }
 
     /// End-of-cycle commit of the request FIFO.
     pub fn commit(&mut self) {
         self.requests.commit();
+    }
+
+    /// Earliest future cycle at which this subsystem can next change
+    /// state, given that the tick at `now` changed nothing: the front of
+    /// each latency pipe, the earliest backoff expiry, and the cycle the
+    /// bandwidth meter first covers the blocked admission at the front of
+    /// the wait queue. `None` when nothing is pending (idle, or blocked
+    /// on conditions only the rest of the fabric can change, like an MSHR
+    /// freeing — which the miss-pipe front already covers).
+    ///
+    /// May undershoot (waking early only costs a dense cycle); it never
+    /// overshoots, so the dense loop and the event wheel admit and
+    /// complete every transfer on identical cycles.
+    pub fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        let mut wake: Option<Cycle> = None;
+        let mut consider = |c: Cycle| match wake {
+            Some(w) if w <= c => {}
+            _ => wake = Some(c),
+        };
+        if let Some(c) = self.hit_pipe.next_ready() {
+            consider(c);
+        }
+        if let Some(c) = self.miss_pipe.next_ready() {
+            consider(c);
+        }
+        if let Some(c) = self.write_pipe.next_ready() {
+            consider(c);
+        }
+        if let Some(c) = self.lost.iter().map(|(r, _)| *r).min() {
+            consider(c);
+        }
+        if let Some(entry) = self.miss_wait.front() {
+            let is_write = entry.req.write.is_some();
+            if is_write || self.miss_pipe.len() < self.cfg.max_inflight_misses {
+                // Blocked on bandwidth credit alone: replay the accrual to
+                // the exact admission cycle. A front that saturates below
+                // its transfer size contributes no wake (the watchdog
+                // bounds the wait, same as the dense loop).
+                let bytes = if is_write {
+                    8
+                } else {
+                    self.cfg.line_bytes as u64
+                };
+                if let Some(k) = self.qpi.cycles_until(bytes) {
+                    consider(now + k.max(1));
+                }
+            }
+            // Else: blocked on an MSHR; the miss-pipe front above is the
+            // only event that can free one.
+        }
+        wake
+    }
+
+    /// Replays `n` skipped quiescent cycles: the bandwidth meter accrues
+    /// credit exactly as `n` ticks would (see
+    /// [`apir_sim::bandwidth::BandwidthMeter::tick_n`]); everything else
+    /// is unchanged by construction.
+    pub fn fast_forward(&mut self, n: u64) {
+        self.qpi.tick_n(n);
+    }
+
+    /// Replays the per-cycle occupancy observation for `n` skipped
+    /// cycles (the in-flight census cannot change while the fabric is
+    /// quiescent).
+    pub fn publish_skipped(&self, ids: &MemMetrics, m: &mut MetricsRegistry, n: u64) {
+        m.observe_n(ids.inflight_hist, self.inflight() as u64, n);
     }
 
     fn complete(&mut self, req: MemReq) -> (u32, u64, u64) {

@@ -245,6 +245,14 @@ impl TaskQueue {
         m.set_gauge(ids.peak, self.peak as f64);
     }
 
+    /// Publishes `n` skipped quiescent cycles in O(1): the occupancy
+    /// histogram gets `n` observations at the current (unchanging)
+    /// occupancy. Counters and gauges are level-valued, so they need no
+    /// replay — only the per-cycle histogram does.
+    pub fn publish_skipped(&self, ids: &QueueMetrics, m: &mut MetricsRegistry, n: u64) {
+        m.observe_n(ids.occupancy_hist, self.len() as u64, n);
+    }
+
     /// End-of-cycle commit of all banks.
     pub fn commit(&mut self) {
         for b in &mut self.banks {

@@ -314,12 +314,21 @@ impl RuleEngine {
     /// One cycle: evaluates broadcast `events` against every lane, applies
     /// the minimum-live-task broadcast, and appends deferred returns as
     /// `(port, tag, value)` to `out`.
+    ///
+    /// Returns whether the engine changed any state this cycle (drained
+    /// an evicted return or fired any clause — a fired clause is the
+    /// only path that writes a verdict, decrements a countdown, or
+    /// releases a lane). Evaluating conditions that do not fire is pure,
+    /// so a `false` return means the identical tick can be elided: the
+    /// event-wheel scheduler's quiescence signal.
     pub fn tick(
         &mut self,
         events: &[EventMsg],
         global_min: Option<(IndexTuple, u64)>,
         out: &mut Vec<(u32, u64, u64)>,
-    ) {
+    ) -> bool {
+        let fires_before = self.stats.clause_fires + self.stats.otherwise_fires;
+        let moved = !self.evicted_returns.is_empty();
         // 0) Returns from lanes evicted during alloc this cycle.
         out.append(&mut self.evicted_returns);
         // 1) Label-triggered clauses.
@@ -343,7 +352,7 @@ impl RuleEngine {
         }
         // 2) Minimum-task broadcast.
         let Some((min_idx, min_seq)) = global_min else {
-            return;
+            return moved || self.stats.clause_fires + self.stats.otherwise_fires != fires_before;
         };
         let min_lane_pos = self.lanes.iter().position(|l| {
             l.as_ref()
@@ -371,6 +380,7 @@ impl RuleEngine {
                 }
             }
         }
+        moved || self.stats.clause_fires + self.stats.otherwise_fires != fires_before
     }
 
     fn eval_clause_on_lanes(

@@ -66,6 +66,54 @@ impl BandwidthMeter {
         self.credit = (self.credit + self.bytes_per_cycle).min(self.burst_cap);
     }
 
+    /// Advances `n` cycles at once, bit-exactly equivalent to calling
+    /// [`BandwidthMeter::tick`] `n` times.
+    ///
+    /// The credit accrual is replayed as the same sequence of clamped
+    /// float adds (no `credit + n * rate` shortcut, which rounds
+    /// differently), but the loop exits as soon as the credit reaches a
+    /// fixed point — at the burst cap one more add changes nothing — so
+    /// the cost is bounded by the burst window, not by `n`. This is what
+    /// lets the event-wheel scheduler skip long quiescent stretches
+    /// without perturbing a single bandwidth decision.
+    pub fn tick_n(&mut self, n: u64) {
+        self.cycles += n;
+        for _ in 0..n {
+            let next = (self.credit + self.bytes_per_cycle).min(self.burst_cap);
+            if next == self.credit {
+                break;
+            }
+            self.credit = next;
+        }
+    }
+
+    /// How many further ticks until `bytes` of credit are available, by
+    /// exact replay of the accrual sequence. `Some(0)` means
+    /// [`BandwidthMeter::try_consume`] would already succeed; `None`
+    /// means the credit saturates below `bytes` (the transfer can never
+    /// start on refills alone). Never underestimates readiness, so an
+    /// event-wheel wake at `now + k` lands exactly when the dense loop
+    /// would first admit the transfer.
+    pub fn cycles_until(&self, bytes: u64) -> Option<u64> {
+        let need = bytes as f64;
+        if self.credit >= need {
+            return Some(0);
+        }
+        let mut credit = self.credit;
+        let mut k = 0u64;
+        loop {
+            let next = (credit + self.bytes_per_cycle).min(self.burst_cap);
+            if next == credit {
+                return None;
+            }
+            credit = next;
+            k += 1;
+            if credit >= need {
+                return Some(k);
+            }
+        }
+    }
+
     /// Attempts to consume `bytes` of credit.
     pub fn try_consume(&mut self, bytes: u64) -> bool {
         if self.credit >= bytes as f64 {
@@ -130,6 +178,46 @@ mod tests {
         let rate = moved as f64 / 1000.0;
         assert!((rate - 8.0).abs() < 0.5, "rate {rate}");
         assert!(m.utilization() > 0.95);
+    }
+
+    #[test]
+    fn tick_n_is_bit_exact_with_sequential_ticks() {
+        // An awkward non-dyadic rate so float rounding would expose any
+        // closed-form shortcut.
+        let mut bulk = BandwidthMeter::from_gbps(1.0, 300).with_min_burst(64);
+        let mut seq = bulk.clone();
+        for n in [0u64, 1, 3, 1000, 7] {
+            bulk.tick_n(n);
+            for _ in 0..n {
+                seq.tick();
+            }
+            assert_eq!(bulk.cycles, seq.cycles);
+            assert_eq!(bulk.credit.to_bits(), seq.credit.to_bits(), "after +{n}");
+        }
+        assert!(bulk.try_consume(64));
+        assert!(seq.try_consume(64));
+        assert_eq!(bulk.credit.to_bits(), seq.credit.to_bits());
+    }
+
+    #[test]
+    fn cycles_until_predicts_first_admission_exactly() {
+        let mut m = BandwidthMeter::from_gbps(1.0, 300).with_min_burst(64);
+        m.tick();
+        assert!(!m.try_consume(64));
+        let k = m.cycles_until(64).expect("64 fits under the burst cap");
+        assert!(k > 0);
+        let mut probe = m.clone();
+        for i in 0..k {
+            assert!(!probe.try_consume(64), "ready {i} cycles early");
+            probe.tick();
+        }
+        assert!(probe.try_consume(64), "not ready after {k} cycles");
+        // Already-available credit reports zero.
+        let mut full = BandwidthMeter::new(10.0);
+        full.tick();
+        assert_eq!(full.cycles_until(5), Some(0));
+        // Saturating below the request reports None.
+        assert_eq!(full.cycles_until(1_000_000), None);
     }
 
     #[test]

@@ -60,6 +60,14 @@ impl<T> DelayLine<T> {
         }
     }
 
+    /// Ready cycle of the next element to emerge, if any — the cycle at
+    /// which [`DelayLine::pop_ready`] would first return it. Event-wheel
+    /// wake-time source: a fabric with nothing else to do can jump
+    /// straight to this cycle.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.q.front().map(|(r, _)| *r)
+    }
+
     /// Elements in flight.
     pub fn len(&self) -> usize {
         self.q.len()
@@ -155,6 +163,15 @@ impl<T> OutOfOrderStation<T> {
         Some(e.0)
     }
 
+    /// Insertion cycle of the oldest still-waiting entry, if any. With
+    /// the [`OutOfOrderStation::timeout_one`] contract (`insert < cutoff`
+    /// bounces), the first cycle at which a bounce can fire is
+    /// `oldest_waiting_insert + timeout + 1` — the event-wheel wake time
+    /// for a station whose occupants are all waiting.
+    pub fn oldest_waiting_insert(&self) -> Option<Cycle> {
+        self.entries.iter().filter(|e| !e.2).map(|e| e.4).min()
+    }
+
     /// Marks the entry with `tag` complete, attaching a completion word
     /// (e.g. the loaded value or a rule's return). Returns `true` if an
     /// entry matched.
@@ -228,6 +245,36 @@ mod tests {
         assert!(!s.complete(20, 0)); // already gone
         assert!(s.complete(10, 5));
         assert_eq!(s.take_ready().unwrap(), ("first", 5));
+    }
+
+    #[test]
+    fn next_ready_tracks_the_front() {
+        let mut d = DelayLine::new(2);
+        assert_eq!(d.next_ready(), None);
+        d.push_extra(0, 10, 'a'); // ready at 12
+        d.push(1, 'b'); // ready at 3
+        assert_eq!(d.next_ready(), Some(3));
+        assert_eq!(d.pop_ready(3), Some('b'));
+        assert_eq!(d.next_ready(), Some(12));
+        assert_eq!(d.pop_ready(12), Some('a'));
+        assert_eq!(d.next_ready(), None);
+    }
+
+    #[test]
+    fn oldest_waiting_insert_predicts_timeout_one() {
+        let mut s = OutOfOrderStation::new(4);
+        assert_eq!(s.oldest_waiting_insert(), None);
+        s.insert_at(1, 'a', 10);
+        s.insert_at(2, 'b', 5);
+        assert_eq!(s.oldest_waiting_insert(), Some(5));
+        // Ready entries no longer wait, so they drop out of the minimum.
+        s.complete(2, 0);
+        assert_eq!(s.oldest_waiting_insert(), Some(10));
+        // The predicted first bounce cycle is insert + timeout + 1.
+        let timeout: Cycle = 3;
+        let wake: Cycle = 10 + timeout + 1;
+        assert_eq!(s.timeout_one((wake - 1).saturating_sub(timeout)), None);
+        assert_eq!(s.timeout_one(wake.saturating_sub(timeout)), Some(1));
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub struct Histogram {
     count: u64,
     sum: u64,
     max: u64,
+    saturated: bool,
 }
 
 /// Number of power-of-two buckets (value 0 plus one per bit of `u64`).
@@ -48,6 +49,7 @@ impl Histogram {
             count: 0,
             sum: 0,
             max: 0,
+            saturated: false,
         }
     }
 
@@ -69,9 +71,29 @@ impl Histogram {
 
     /// Records one observation.
     pub fn observe(&mut self, v: u64) {
-        self.buckets[Self::bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(v);
+        self.observe_n(v, 1);
+    }
+
+    /// Records `n` identical observations in O(1).
+    ///
+    /// Exactly equivalent to calling [`Histogram::observe`] `n` times:
+    /// the sum saturates at `u64::MAX` either way, and both paths set
+    /// [`Histogram::saturated`] when the true sum no longer fits. Used by
+    /// the event-wheel scheduler to replay per-cycle observations for a
+    /// skipped quiescent stretch.
+    pub fn observe_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)] += n;
+        self.count += n;
+        match v.checked_mul(n).and_then(|vn| self.sum.checked_add(vn)) {
+            Some(s) => self.sum = s,
+            None => {
+                self.sum = u64::MAX;
+                self.saturated = true;
+            }
+        }
         self.max = self.max.max(v);
     }
 
@@ -80,9 +102,17 @@ impl Histogram {
         self.count
     }
 
-    /// Sum of all observed values (saturating).
+    /// Sum of all observed values (saturating; see [`Histogram::saturated`]).
     pub fn sum(&self) -> u64 {
         self.sum
+    }
+
+    /// True once the sum has clamped at `u64::MAX`: [`Histogram::sum`]
+    /// and [`Histogram::mean`] are lower bounds from that point on, and
+    /// renderers should say so instead of printing a plausible-looking
+    /// wrong number.
+    pub fn saturated(&self) -> bool {
+        self.saturated
     }
 
     /// Largest observed value (0 when empty).
@@ -221,6 +251,15 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records `n` identical histogram observations in O(1) (see
+    /// [`Histogram::observe_n`]).
+    pub fn observe_n(&mut self, id: HistogramId, value: u64, n: u64) {
+        match &mut self.metrics[id.0] {
+            Metric::Histogram(h) => h.observe_n(value, n),
+            _ => unreachable!("typed handle"),
+        }
+    }
+
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
         self.metrics.len()
@@ -353,6 +392,61 @@ mod tests {
         assert_eq!(empty.mean(), 0.0);
         assert_eq!(empty.count(), 0);
         assert_eq!(empty.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn observe_n_equals_n_sequential_observes() {
+        let mut bulk = Histogram::new();
+        let mut seq = Histogram::new();
+        for (v, n) in [(0u64, 3u64), (7, 1), (7, 10), (1 << 40, 5), (u64::MAX, 2)] {
+            bulk.observe_n(v, n);
+            for _ in 0..n {
+                seq.observe(v);
+            }
+        }
+        assert_eq!(bulk, seq);
+        assert!(bulk.saturated(), "u64::MAX twice must clamp the sum");
+        // n == 0 is a no-op.
+        let before = bulk.clone();
+        bulk.observe_n(123, 0);
+        assert_eq!(bulk, before);
+    }
+
+    #[test]
+    fn saturation_is_sticky_and_flagged() {
+        let mut h = Histogram::new();
+        h.observe(u64::MAX);
+        assert!(!h.saturated());
+        assert_eq!(h.sum(), u64::MAX);
+        h.observe(1);
+        assert!(h.saturated());
+        assert_eq!(h.sum(), u64::MAX);
+        h.observe(0);
+        assert!(h.saturated(), "saturation never clears");
+        let snap_h = {
+            let mut m = MetricsRegistry::new();
+            let id = m.histogram("sat");
+            m.observe_n(id, u64::MAX, 3);
+            m.snapshot().histogram("sat").unwrap().clone()
+        };
+        assert!(snap_h.saturated(), "flag survives the snapshot clone");
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_has_finite_mean() {
+        // Registered but never observed: the count == 0 path must yield
+        // 0.0, never NaN (NaN is not valid JSON and would poison the
+        // deterministic report rendering downstream).
+        let mut m = MetricsRegistry::new();
+        m.histogram("never.observed");
+        let snap = m.snapshot();
+        let h = snap.histogram("never.observed").unwrap();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.mean().is_finite());
+        assert!(!h.saturated());
     }
 
     #[test]

@@ -129,9 +129,12 @@ pub fn text_summary(report: &FabricReport) -> String {
                 let _ = writeln!(out, "  {key:<40} {v}");
             }
             MetricValue::Histogram(h) => {
+                // A saturated sum makes the mean a lower bound, not an
+                // exact value; say so instead of printing it as truth.
+                let sat = if h.saturated() { " (sum saturated)" } else { "" };
                 let _ = writeln!(
                     out,
-                    "  {key:<40} count={} mean={:.2} max={}",
+                    "  {key:<40} count={} mean={:.2} max={}{sat}",
                     h.count(),
                     h.mean(),
                     h.max()
