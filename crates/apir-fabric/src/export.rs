@@ -14,32 +14,79 @@ use crate::fault::FaultStats;
 use crate::memory::MemStats;
 use crate::rules::RuleEngineStats;
 use apir_sim::metrics::{Histogram, MetricValue, MetricsSnapshot};
+use apir_sim::stats::UtilizationSummary;
+use apir_sim::timeline::Timeline;
 use apir_util::Json;
 
 /// Schema identifier embedded in every exported report.
-pub const REPORT_SCHEMA: &str = "apir.fabric.report.v1";
+///
+/// `v2` extends `v1` with the per-stage `activity` block (stall-cause
+/// attribution) and the optional `timeline` block (windowed samples).
+pub const REPORT_SCHEMA: &str = "apir.fabric.report.v2";
 
 fn histogram_json(h: &Histogram) -> Json {
-    let mut fields = vec![
-        ("count", Json::U64(h.count())),
-        ("sum", Json::U64(h.sum())),
-        ("max", Json::U64(h.max())),
-        (
-            "buckets",
-            Json::arr(
-                h.nonzero_buckets()
-                    .map(|(bound, n)| Json::arr([Json::U64(bound), Json::U64(n)])),
-            ),
-        ),
-    ];
     // A capped sum is no longer exact; flag it so downstream consumers
     // (apir-trace summaries, bench tooling) don't trust the mean. The
     // field appears only when set, keeping unsaturated documents — i.e.
-    // every pinned golden — byte-identical to the v1 rendering.
-    if h.saturated() {
-        fields.push(("saturated", Json::Bool(true)));
-    }
-    Json::obj(fields)
+    // every pinned golden — byte-identical otherwise.
+    Json::obj_sparse([
+        ("count", Some(Json::U64(h.count()))),
+        ("sum", Some(Json::U64(h.sum()))),
+        ("max", Some(Json::U64(h.max()))),
+        (
+            "buckets",
+            Some(Json::arr(
+                h.nonzero_buckets()
+                    .map(|(bound, n)| Json::arr([Json::U64(bound), Json::U64(n)])),
+            )),
+        ),
+        ("saturated", h.saturated().then_some(Json::Bool(true))),
+    ])
+}
+
+fn activity_json(u: &UtilizationSummary) -> Json {
+    Json::Obj(
+        u.rows()
+            .map(|(name, t)| {
+                let causes = Json::Obj(
+                    t.stall_causes()
+                        .filter(|&(_, n)| n > 0)
+                        .map(|(c, n)| (c.key().to_string(), Json::U64(n)))
+                        .collect(),
+                );
+                let row = Json::obj([
+                    ("busy", Json::U64(t.busy)),
+                    ("stall", Json::U64(t.stall)),
+                    ("idle", Json::U64(t.idle)),
+                    ("causes", causes),
+                ]);
+                (name.to_string(), row)
+            })
+            .collect(),
+    )
+}
+
+fn timeline_json(t: &Timeline) -> Json {
+    Json::obj([
+        ("window", Json::U64(t.window)),
+        ("dropped", Json::U64(t.dropped)),
+        (
+            "windows",
+            Json::arr(t.windows.iter().map(|w| {
+                Json::obj([
+                    ("start", Json::U64(w.start)),
+                    ("cycles", Json::U64(w.cycles)),
+                    ("busy", Json::U64(w.sample.busy)),
+                    ("stall", Json::U64(w.sample.stall)),
+                    ("idle", Json::U64(w.sample.idle)),
+                    ("retired", Json::U64(w.sample.retired)),
+                    ("hits", Json::U64(w.sample.hits)),
+                    ("misses", Json::U64(w.sample.misses)),
+                    ("qpi_bytes", Json::U64(w.sample.qpi_bytes)),
+                ])
+            })),
+        ),
+    ])
 }
 
 fn metrics_json(snap: &MetricsSnapshot) -> Json {
@@ -108,29 +155,34 @@ impl FabricReport {
             ]),
             None => Json::Null,
         };
-        Json::obj([
-            ("schema", Json::str(REPORT_SCHEMA)),
-            ("cycles", Json::U64(self.cycles)),
-            ("seconds", Json::Num(self.seconds)),
-            ("utilization", Json::Num(self.utilization)),
-            ("primitive_ops", Json::U64(self.primitive_ops as u64)),
+        // The `timeline` block is omitted entirely when the recorder was
+        // disabled (`obj_sparse`); `trace` keeps its explicit `null` —
+        // pinned by the v1-era tests and consumers.
+        Json::obj_sparse([
+            ("schema", Some(Json::str(REPORT_SCHEMA))),
+            ("cycles", Some(Json::U64(self.cycles))),
+            ("seconds", Some(Json::Num(self.seconds))),
+            ("utilization", Some(Json::Num(self.utilization))),
+            ("primitive_ops", Some(Json::U64(self.primitive_ops as u64))),
             (
                 "retired",
-                Json::arr(self.retired.iter().map(|&r| Json::U64(r))),
+                Some(Json::arr(self.retired.iter().map(|&r| Json::U64(r)))),
             ),
-            ("squashes", Json::U64(self.squashes)),
-            ("requeues", Json::U64(self.requeues)),
-            ("bounces", Json::U64(self.bounces)),
-            ("extern_calls", Json::U64(self.extern_calls)),
+            ("squashes", Some(Json::U64(self.squashes))),
+            ("requeues", Some(Json::U64(self.requeues))),
+            ("bounces", Some(Json::U64(self.bounces))),
+            ("extern_calls", Some(Json::U64(self.extern_calls))),
             (
                 "queue_peaks",
-                Json::arr(self.queue_peaks.iter().map(|&p| Json::U64(p as u64))),
+                Some(Json::arr(self.queue_peaks.iter().map(|&p| Json::U64(p as u64)))),
             ),
-            ("mem", mem_json(&self.mem)),
-            ("faults", faults_json(&self.faults)),
-            ("rules", Json::arr(self.rules.iter().map(rule_json))),
-            ("metrics", metrics_json(&self.metrics)),
-            ("trace", trace),
+            ("mem", Some(mem_json(&self.mem))),
+            ("faults", Some(faults_json(&self.faults))),
+            ("rules", Some(Json::arr(self.rules.iter().map(rule_json)))),
+            ("metrics", Some(metrics_json(&self.metrics))),
+            ("activity", Some(activity_json(&self.activity))),
+            ("timeline", self.timeline.as_ref().map(timeline_json)),
+            ("trace", Some(trace)),
         ])
     }
 
@@ -166,6 +218,7 @@ mod tests {
             activity: UtilizationSummary::new(),
             faults: FaultStats::default(),
             trace: None,
+            timeline: None,
         }
     }
 
@@ -206,6 +259,67 @@ mod tests {
         assert_eq!(h.get("count").unwrap().as_u64(), Some(0));
         assert_eq!(h.get("sum").unwrap().as_u64(), Some(0));
         assert!(h.get("saturated").is_none(), "flag absent when unset");
+    }
+
+    #[test]
+    fn timeline_block_is_omitted_when_disabled() {
+        let json = tiny_report().to_json();
+        let parsed = apir_util::json::parse(&json).expect("valid JSON");
+        assert!(parsed.get("timeline").is_none(), "no timeline member");
+        assert!(parsed.get("activity").is_some(), "activity always present");
+    }
+
+    #[test]
+    fn timeline_block_renders_windows() {
+        use apir_sim::timeline::TimelineRecorder;
+        let mut rec = TimelineRecorder::new(4, 8);
+        let s = apir_sim::timeline::TimelineSample {
+            busy: 1,
+            stall: 2,
+            idle: 3,
+            retired: 1,
+            hits: 0,
+            misses: 0,
+            qpi_bytes: 64,
+        };
+        rec.observe_n(&s, 6);
+        let mut r = tiny_report();
+        r.timeline = Some(rec.finish());
+        let parsed = apir_util::json::parse(&r.to_json()).expect("valid JSON");
+        let tl = parsed.get("timeline").expect("timeline present");
+        assert_eq!(tl.get("window").unwrap().as_u64(), Some(4));
+        assert_eq!(tl.get("dropped").unwrap().as_u64(), Some(0));
+        let windows = tl.get("windows").unwrap().as_arr().unwrap();
+        assert_eq!(windows.len(), 2, "full window plus partial tail");
+        assert_eq!(windows[0].get("start").unwrap().as_u64(), Some(1));
+        assert_eq!(windows[0].get("cycles").unwrap().as_u64(), Some(4));
+        assert_eq!(windows[0].get("qpi_bytes").unwrap().as_u64(), Some(256));
+        assert_eq!(windows[1].get("cycles").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn activity_block_reports_nonzero_causes() {
+        use apir_sim::stats::{ActivityTracker, StallCause};
+        let mut t = ActivityTracker::new();
+        t.record(apir_sim::stats::Activity::Busy);
+        t.record_stall(StallCause::QueueFull);
+        t.record_stall_n(StallCause::MshrFull, 3);
+        let mut u = UtilizationSummary::new();
+        u.add("p0.s0:enqueue", t);
+        let mut r = tiny_report();
+        r.activity = u;
+        let parsed = apir_util::json::parse(&r.to_json()).expect("valid JSON");
+        let row = parsed
+            .get("activity")
+            .unwrap()
+            .get("p0.s0:enqueue")
+            .expect("row rendered");
+        assert_eq!(row.get("busy").unwrap().as_u64(), Some(1));
+        assert_eq!(row.get("stall").unwrap().as_u64(), Some(4));
+        let causes = row.get("causes").unwrap();
+        assert_eq!(causes.get("queue_full").unwrap().as_u64(), Some(1));
+        assert_eq!(causes.get("mshr_full").unwrap().as_u64(), Some(3));
+        assert!(causes.get("bandwidth").is_none(), "zero causes omitted");
     }
 
     #[test]

@@ -24,7 +24,8 @@ use apir_sim::delay::OutOfOrderStation;
 use apir_sim::fifo::Fifo;
 use apir_sim::metrics::{CounterId, GaugeId, MetricsRegistry, MetricsSnapshot};
 use apir_sim::seconds_from_cycles;
-use apir_sim::stats::{Activity, ActivityTracker, UtilizationSummary};
+use apir_sim::stats::{Activity, ActivityTracker, StallCause, UtilizationSummary};
+use apir_sim::timeline::{Timeline, TimelineRecorder, TimelineSample};
 use apir_sim::trace::{CompId, EventTrace};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
@@ -147,6 +148,8 @@ pub struct FabricReport {
     pub faults: FaultStats,
     /// The structured event trace, when `trace_capacity > 0`.
     pub trace: Option<EventTrace>,
+    /// Windowed activity/memory timeline, when `timeline_window > 0`.
+    pub timeline: Option<Timeline>,
 }
 
 impl FabricReport {
@@ -160,6 +163,11 @@ impl FabricReport {
 /// keys live in [`MemMetrics`], [`QueueMetrics`], [`RuleMetrics`].
 struct FabricMetricIds {
     cycles: CounterId,
+    busy: CounterId,
+    stall: CounterId,
+    idle: CounterId,
+    /// One counter per [`StallCause`], in `StallCause::ALL` order.
+    stall_causes: Vec<CounterId>,
     retired: Vec<CounterId>,
     squashes: CounterId,
     requeues: CounterId,
@@ -176,6 +184,13 @@ impl FabricMetricIds {
     fn register(m: &mut MetricsRegistry, spec: &Spec) -> Self {
         FabricMetricIds {
             cycles: m.counter("fabric.cycles"),
+            busy: m.counter("fabric.busy"),
+            stall: m.counter("fabric.stall"),
+            idle: m.counter("fabric.idle"),
+            stall_causes: StallCause::ALL
+                .iter()
+                .map(|c| m.counter(&format!("fabric.stall.{}", c.key())))
+                .collect(),
             retired: spec
                 .task_sets()
                 .iter()
@@ -224,6 +239,11 @@ struct Stage {
     comp: CompId,
     /// Last activity state recorded to the trace (transition detection).
     last_activity: Option<Activity>,
+    /// Cause of the most recent recorded stall. The event wheel only
+    /// fast-forwards across a tick in which every waiting stage recorded
+    /// a caused stall, so replaying this cause for the skipped cycles is
+    /// exact.
+    last_stall_cause: StallCause,
 }
 
 struct Pipeline {
@@ -304,6 +324,10 @@ pub struct Fabric {
     metrics: MetricsRegistry,
     mids: FabricMetricIds,
     trace: Option<EventTrace>,
+    timeline: Option<TimelineRecorder>,
+    /// Cumulative totals behind the last timeline observation; the
+    /// per-cycle delta against these becomes the next sample.
+    tl_prev: TimelineSample,
     tr_host: CompId,
     tr_mem: CompId,
     tr_fault: CompId,
@@ -401,6 +425,7 @@ impl Fabric {
                         expand_pos: None,
                         tracker: ActivityTracker::new(),
                         last_activity: None,
+                        last_stall_cause: StallCause::DownstreamFull,
                     });
                 }
                 resp_count = next_port as usize;
@@ -428,6 +453,8 @@ impl Fabric {
         let mut lint = apir_core::check::check_all(spec);
         lint.merge(cfg.validate());
         let lint_errors = lint.has_errors().then(|| lint.render_text());
+        let timeline = (cfg.timeline_window > 0)
+            .then(|| TimelineRecorder::new(cfg.timeline_window, cfg.timeline_capacity));
         Fabric {
             retired: vec![0; spec.task_sets().len()],
             spec: spec.clone(),
@@ -459,6 +486,8 @@ impl Fabric {
             metrics,
             mids,
             trace,
+            timeline,
+            tl_prev: TimelineSample::default(),
             tr_host,
             tr_mem,
             tr_fault,
@@ -646,10 +675,26 @@ impl Fabric {
 
     fn into_report(mut self) -> FabricReport {
         let mut util = UtilizationSummary::new();
+        let mut busy = 0u64;
+        let mut stall = 0u64;
+        let mut idle = 0u64;
+        let mut causes = [0u64; StallCause::COUNT];
         for (pi, p) in self.pipelines.iter().enumerate() {
             for (si, st) in p.stages.iter().enumerate() {
                 util.add(format!("p{pi}.s{si}:{}", st.op.mnemonic()), st.tracker);
+                busy += st.tracker.busy;
+                stall += st.tracker.stall;
+                idle += st.tracker.idle;
+                for (acc, &c) in causes.iter_mut().zip(st.tracker.stall_by.iter()) {
+                    *acc += c;
+                }
             }
+        }
+        self.metrics.set_counter(self.mids.busy, busy);
+        self.metrics.set_counter(self.mids.stall, stall);
+        self.metrics.set_counter(self.mids.idle, idle);
+        for (&id, &c) in self.mids.stall_causes.iter().zip(causes.iter()) {
+            self.metrics.set_counter(id, c);
         }
         self.metrics
             .set_gauge(self.mids.utilization, util.pipeline_utilization());
@@ -660,6 +705,7 @@ impl Fabric {
             metrics: self.metrics.snapshot(),
             activity: util.clone(),
             trace: self.trace,
+            timeline: self.timeline.take().map(TimelineRecorder::finish),
             cycles: self.cycle,
             seconds: seconds_from_cycles(self.cfg.clock_mhz, self.cycle),
             retired: self.retired,
@@ -866,6 +912,12 @@ impl Fabric {
             self.record_tick_deltas(now, &snap);
         }
         self.publish_cycle();
+        if self.timeline.is_some() {
+            let cur = self.timeline_totals();
+            let delta = cur.delta_from(&self.tl_prev);
+            self.timeline.as_mut().expect("checked").observe(&delta);
+            self.tl_prev = cur;
+        }
 
         if progress {
             self.last_progress = self.cycle;
@@ -873,6 +925,26 @@ impl Fabric {
             self.escalated = false;
         }
         moved || progress
+    }
+
+    /// Cumulative totals feeding the timeline: per-cycle deltas of these
+    /// become the windowed samples. Everything here is monotone, so the
+    /// deltas are always well-defined.
+    fn timeline_totals(&self) -> TimelineSample {
+        let mut s = TimelineSample::default();
+        for p in &self.pipelines {
+            for st in &p.stages {
+                s.busy += st.tracker.busy;
+                s.stall += st.tracker.stall;
+                s.idle += st.tracker.idle;
+            }
+        }
+        s.retired = self.retired.iter().sum();
+        let mem = self.mem.stats();
+        s.hits = mem.hits;
+        s.misses = mem.misses;
+        s.qpi_bytes = mem.qpi_bytes;
+        s
     }
 
     /// Do the windowed fault trials consume RNG draws on this fabric?
@@ -949,17 +1021,37 @@ impl Fabric {
         for (q, ids) in self.queues.iter().zip(self.mids.queues.iter()) {
             q.publish_skipped(ids, &mut self.metrics, k);
         }
+        for (e, ids) in self.engines.iter().zip(self.mids.rules.iter()) {
+            e.publish_skipped(ids, &mut self.metrics, k);
+        }
+        let mut waiting_stages = 0u64;
+        let mut total_stages = 0u64;
         for p in &mut self.pipelines {
             for (latch, st) in p.latches.iter().zip(p.stages.iter_mut()) {
+                total_stages += 1;
                 let waiting = latch.is_some()
                     || st.station.as_ref().is_some_and(|s| !s.is_empty());
-                let state = if waiting {
-                    Activity::Stall
+                if waiting {
+                    // The preceding dense tick recorded a caused stall
+                    // for this stage; the quiescent cycles repeat it.
+                    st.tracker.record_stall_n(st.last_stall_cause, k);
+                    waiting_stages += 1;
                 } else {
-                    Activity::Idle
-                };
-                st.tracker.record_n(state, k);
+                    st.tracker.record_n(Activity::Idle, k);
+                }
             }
+        }
+        if let Some(tl) = self.timeline.as_mut() {
+            // Per-cycle delta of a quiescent cycle: no stage is busy,
+            // waiting stages stall, the rest idle, and no retirement or
+            // memory traffic happens (any of those would have moved).
+            let delta = TimelineSample {
+                stall: waiting_stages,
+                idle: total_stages - waiting_stages,
+                ..TimelineSample::default()
+            };
+            tl.observe_n(&delta, k);
+            self.tl_prev.add_scaled(&delta, k);
         }
     }
 
@@ -1257,6 +1349,11 @@ fn tick_pipeline(
 
         // Phase B: process the latch occupant.
         let occupied = latch_cur.is_some();
+        // Why the occupant could not leave its latch this cycle; only
+        // meaningful when phase B re-parks it (`stalled_ctx`). The
+        // default covers every pure-op and guard-fail path, which stall
+        // only because the next latch is occupied.
+        let mut stall_cause = StallCause::DownstreamFull;
         if let Some(ctx) = latch_cur.take() {
             let next_free = latch_next.as_ref().map_or(true, |l| l.is_none()) || i + 1 == n;
             let guard_ok = |g: &Option<apir_core::op::ValRef>, ctx: &Ctx| {
@@ -1338,6 +1435,11 @@ fn tick_pipeline(
                         busy = true;
                         progress = true;
                     } else {
+                        stall_cause = if station.can_insert() {
+                            StallCause::Bandwidth
+                        } else {
+                            StallCause::MshrFull
+                        };
                         stalled_ctx = Some(ctx);
                     }
                 }
@@ -1381,6 +1483,11 @@ fn tick_pipeline(
                             busy = true;
                             progress = true;
                         } else {
+                            stall_cause = if station.can_insert() {
+                                StallCause::Bandwidth
+                            } else {
+                                StallCause::MshrFull
+                            };
                             stalled_ctx = Some(ctx);
                         }
                     }
@@ -1416,6 +1523,11 @@ fn tick_pipeline(
                         progress = true;
                         advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
                     } else {
+                        stall_cause = if next_free {
+                            StallCause::QueueFull
+                        } else {
+                            StallCause::DownstreamFull
+                        };
                         stalled_ctx = Some(ctx);
                     }
                 }
@@ -1464,6 +1576,11 @@ fn tick_pipeline(
                             busy = true;
                             advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
                         } else {
+                            stall_cause = if stage.expand_pos == Some(hi_v) {
+                                StallCause::DownstreamFull
+                            } else {
+                                StallCause::QueueFull
+                            };
                             stalled_ctx = Some(ctx);
                         }
                     }
@@ -1500,6 +1617,11 @@ fn tick_pipeline(
                         progress = true;
                         advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
                     } else {
+                        stall_cause = if next_free {
+                            StallCause::ReserveFull
+                        } else {
+                            StallCause::DownstreamFull
+                        };
                         stalled_ctx = Some(ctx);
                     }
                 }
@@ -1574,6 +1696,11 @@ fn tick_pipeline(
                             }
                         }
                     } else {
+                        stall_cause = if station.can_insert() {
+                            StallCause::DownstreamFull
+                        } else {
+                            StallCause::RendezvousParked
+                        };
                         stalled_ctx = Some(ctx);
                     }
                     }
@@ -1609,6 +1736,11 @@ fn tick_pipeline(
                         progress = true;
                         advance(ctx, i, n, latch_next.as_deref_mut(), live, retired, set);
                     } else {
+                        stall_cause = if next_free {
+                            StallCause::BusFull
+                        } else {
+                            StallCause::DownstreamFull
+                        };
                         stalled_ctx = Some(ctx);
                     }
                 }
@@ -1644,6 +1776,11 @@ fn tick_pipeline(
                             busy = true;
                             progress = true;
                         } else {
+                            stall_cause = if station.can_insert() {
+                                StallCause::DownstreamFull
+                            } else {
+                                StallCause::MshrFull
+                            };
                             stalled_ctx = Some(ctx);
                         }
                     }
@@ -1654,19 +1791,34 @@ fn tick_pipeline(
 
         active |= busy;
         // Activity accounting.
-        let waiting = p.latches[i].is_some()
-            || p.stages[i]
-                .station
-                .as_ref()
-                .is_some_and(|s| !s.is_empty());
+        let waiting_latch = p.latches[i].is_some();
+        let waiting_station = p.stages[i]
+            .station
+            .as_ref()
+            .is_some_and(|s| !s.is_empty());
         let state = if busy {
             Activity::Busy
-        } else if waiting {
+        } else if waiting_latch || waiting_station {
             Activity::Stall
         } else {
             Activity::Idle
         };
-        p.stages[i].tracker.record(state);
+        if state == Activity::Stall {
+            // A re-parked latch carries the cause phase B just computed;
+            // a station-only stall is waiting on an outstanding
+            // completion (rendezvous verdict or memory/extern response).
+            let cause = if waiting_latch {
+                stall_cause
+            } else if matches!(p.stages[i].op, BodyOp::Rendezvous { .. }) {
+                StallCause::RendezvousParked
+            } else {
+                StallCause::MissOutstanding
+            };
+            p.stages[i].tracker.record_stall(cause);
+            p.stages[i].last_stall_cause = cause;
+        } else {
+            p.stages[i].tracker.record(state);
+        }
         // Trace only activity *transitions* so a stage that stays busy for
         // ten thousand cycles costs one record, not ten thousand.
         if let Some(tr) = trace.as_deref_mut() {

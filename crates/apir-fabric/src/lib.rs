@@ -86,6 +86,15 @@ pub struct FabricConfig {
     /// oldest records are evicted and counted in
     /// [`apir_sim::trace::EventTrace::dropped`].
     pub trace_capacity: usize,
+    /// Cycles per timeline window; `0` (the default) disables the
+    /// windowed timeline entirely. When enabled, the fabric snapshots
+    /// activity/memory deltas every `timeline_window` cycles into a
+    /// bounded ring exported as the report's `timeline` block.
+    pub timeline_window: u64,
+    /// Ring capacity (windows retained) of the timeline recorder. When
+    /// the ring fills, the oldest windows are evicted and counted in
+    /// [`apir_sim::timeline::Timeline::dropped`].
+    pub timeline_capacity: usize,
     /// Force the dense per-cycle scheduler instead of the event wheel.
     ///
     /// By default the fabric skips quiescent stretches (no module made
@@ -116,6 +125,8 @@ impl Default for FabricConfig {
             deadlock_cycles: 100_000,
             record_retirements: false,
             trace_capacity: 0,
+            timeline_window: 0,
+            timeline_capacity: 4096,
             dense_tick: false,
         }
     }
@@ -172,6 +183,20 @@ impl FabricConfig {
                     ),
                 )
                 .hint("give each bank at least one entry"),
+            );
+        }
+        if self.timeline_window > 0 && self.timeline_capacity == 0 {
+            report.push(
+                Diagnostic::new(
+                    Lint::ZeroFabricResource,
+                    "config:timeline_capacity",
+                    format!(
+                        "`timeline_window` is {} but `timeline_capacity` is 0; \
+                         every window would be dropped as soon as it closes",
+                        self.timeline_window
+                    ),
+                )
+                .hint("set timeline_capacity to at least 1 (or disable the timeline)"),
             );
         }
         if self.rendezvous_timeout >= self.deadlock_cycles {

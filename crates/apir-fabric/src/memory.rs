@@ -24,6 +24,7 @@ use apir_sim::bandwidth::BandwidthMeter;
 use apir_sim::delay::DelayLine;
 use apir_sim::fifo::Fifo;
 use apir_sim::metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+use apir_sim::stats::StallCause;
 use apir_sim::{cycles_from_ns, Cycle};
 use apir_core::{MemAccess, MemImage};
 use std::collections::VecDeque;
@@ -89,6 +90,9 @@ pub struct MemMetrics {
     qpi_bytes: CounterId,
     inflight: GaugeId,
     inflight_hist: HistogramId,
+    stall: CounterId,
+    stall_mshr_full: CounterId,
+    stall_bandwidth: CounterId,
 }
 
 impl MemMetrics {
@@ -102,6 +106,9 @@ impl MemMetrics {
             qpi_bytes: m.counter("mem.qpi_bytes"),
             inflight: m.gauge("mem.inflight"),
             inflight_hist: m.histogram("mem.inflight_hist"),
+            stall: m.counter("mem.stall"),
+            stall_mshr_full: m.counter(&format!("mem.stall.{}", StallCause::MshrFull.key())),
+            stall_bandwidth: m.counter(&format!("mem.stall.{}", StallCause::Bandwidth.key())),
         }
     }
 }
@@ -337,7 +344,11 @@ impl MemorySubsystem {
     }
 
     /// Publishes the per-cycle view into the metrics registry: the
-    /// running `MemStats` totals, plus occupancy (gauge + histogram).
+    /// running `MemStats` totals, occupancy (gauge + histogram), and the
+    /// admission-stall attribution — one `mem.stall` count per cycle the
+    /// front of the miss-wait queue stays blocked, split into
+    /// `mshr_full` (read blocked on the in-flight-miss bound) vs
+    /// `bandwidth` (blocked on link byte credits).
     pub fn publish(&self, ids: &MemMetrics, m: &mut MetricsRegistry) {
         m.set_counter(ids.reads, self.stats.reads);
         m.set_counter(ids.writes, self.stats.writes);
@@ -347,6 +358,20 @@ impl MemorySubsystem {
         let inflight = self.inflight() as u64;
         m.set_gauge(ids.inflight, inflight as f64);
         m.observe(ids.inflight_hist, inflight);
+        self.publish_stall(ids, m, 1);
+    }
+
+    fn publish_stall(&self, ids: &MemMetrics, m: &mut MetricsRegistry, n: u64) {
+        let Some(front) = self.miss_wait.front() else {
+            return;
+        };
+        m.inc(ids.stall, n);
+        let is_write = front.req.write.is_some();
+        if !is_write && self.miss_pipe.len() >= self.cfg.max_inflight_misses {
+            m.inc(ids.stall_mshr_full, n);
+        } else {
+            m.inc(ids.stall_bandwidth, n);
+        }
     }
 
     /// Is anything in flight?
@@ -583,11 +608,12 @@ impl MemorySubsystem {
         self.qpi.tick_n(n);
     }
 
-    /// Replays the per-cycle occupancy observation for `n` skipped
-    /// cycles (the in-flight census cannot change while the fabric is
-    /// quiescent).
+    /// Replays the per-cycle occupancy observation and admission-stall
+    /// attribution for `n` skipped cycles (neither the in-flight census
+    /// nor the blocked front can change while the fabric is quiescent).
     pub fn publish_skipped(&self, ids: &MemMetrics, m: &mut MetricsRegistry, n: u64) {
         m.observe_n(ids.inflight_hist, self.inflight() as u64, n);
+        self.publish_stall(ids, m, n);
     }
 
     fn complete(&mut self, req: MemReq) -> (u32, u64, u64) {

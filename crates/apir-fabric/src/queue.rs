@@ -12,6 +12,7 @@ use apir_core::spec::TaskSetKind;
 use apir_core::IndexTuple;
 use apir_sim::fifo::Fifo;
 use apir_sim::metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+use apir_sim::stats::StallCause;
 
 /// Handles for one task queue's stable metric keys
 /// (`queue.<task_set>.*`).
@@ -21,6 +22,9 @@ pub struct QueueMetrics {
     occupancy: GaugeId,
     occupancy_hist: HistogramId,
     peak: GaugeId,
+    stall: CounterId,
+    stall_queue_full: CounterId,
+    stall_reserve_full: CounterId,
 }
 
 impl QueueMetrics {
@@ -31,6 +35,15 @@ impl QueueMetrics {
             occupancy: m.gauge(&format!("queue.{name}.occupancy")),
             occupancy_hist: m.histogram(&format!("queue.{name}.occupancy_hist")),
             peak: m.gauge(&format!("queue.{name}.peak")),
+            stall: m.counter(&format!("queue.{name}.stall")),
+            stall_queue_full: m.counter(&format!(
+                "queue.{name}.stall.{}",
+                StallCause::QueueFull.key()
+            )),
+            stall_reserve_full: m.counter(&format!(
+                "queue.{name}.stall.{}",
+                StallCause::ReserveFull.key()
+            )),
         }
     }
 }
@@ -236,21 +249,40 @@ impl TaskQueue {
     }
 
     /// Publishes the per-cycle view into the metrics registry: total
-    /// pushes, occupancy (gauge + histogram), and the peak.
+    /// pushes, occupancy (gauge + histogram), the peak, and the
+    /// backpressure attribution — one `queue.<name>.stall` count per
+    /// cycle an ordinary push would be refused, split into `queue_full`
+    /// (no bank has room) vs `reserve_full` (only the recirculation
+    /// reserve margin is left).
     pub fn publish(&self, ids: &QueueMetrics, m: &mut MetricsRegistry) {
         m.set_counter(ids.pushed, self.pushed_total);
         let occ = self.len() as u64;
         m.set_gauge(ids.occupancy, occ as f64);
         m.observe(ids.occupancy_hist, occ);
         m.set_gauge(ids.peak, self.peak as f64);
+        self.publish_stall(ids, m, 1);
     }
 
     /// Publishes `n` skipped quiescent cycles in O(1): the occupancy
     /// histogram gets `n` observations at the current (unchanging)
-    /// occupancy. Counters and gauges are level-valued, so they need no
-    /// replay — only the per-cycle histogram does.
+    /// occupancy, and the per-cycle stall attribution is replayed `n`
+    /// times against the frozen state. Level-valued counters and gauges
+    /// need no replay.
     pub fn publish_skipped(&self, ids: &QueueMetrics, m: &mut MetricsRegistry, n: u64) {
         m.observe_n(ids.occupancy_hist, self.len() as u64, n);
+        self.publish_stall(ids, m, n);
+    }
+
+    fn publish_stall(&self, ids: &QueueMetrics, m: &mut MetricsRegistry, n: u64) {
+        if self.can_push() {
+            return;
+        }
+        m.inc(ids.stall, n);
+        if self.can_push_reserved() {
+            m.inc(ids.stall_reserve_full, n);
+        } else {
+            m.inc(ids.stall_queue_full, n);
+        }
     }
 
     /// End-of-cycle commit of all banks.

@@ -12,6 +12,7 @@
 use apir_core::expr::EvalCtx;
 use apir_core::rule::{EcaClause, EventPat, RuleAction, RuleDecl, RuleMode};
 use apir_sim::metrics::{CounterId, GaugeId, MetricsRegistry};
+use apir_sim::stats::StallCause;
 use std::sync::Arc;
 use apir_core::{IndexTuple, MAX_FIELDS};
 use crate::types::EventMsg;
@@ -67,6 +68,9 @@ pub struct RuleMetrics {
     evictions: CounterId,
     occupied: GaugeId,
     peak_lanes: GaugeId,
+    stall: CounterId,
+    stall_lane_busy: CounterId,
+    stall_lane_masked: CounterId,
 }
 
 impl RuleMetrics {
@@ -80,6 +84,15 @@ impl RuleMetrics {
             evictions: m.counter(&format!("rule.{name}.evictions")),
             occupied: m.gauge(&format!("rule.{name}.occupied")),
             peak_lanes: m.gauge(&format!("rule.{name}.peak_lanes")),
+            stall: m.counter(&format!("rule.{name}.stall")),
+            stall_lane_busy: m.counter(&format!(
+                "rule.{name}.stall.{}",
+                StallCause::LaneBusy.key()
+            )),
+            stall_lane_masked: m.counter(&format!(
+                "rule.{name}.stall.{}",
+                StallCause::LaneMasked.key()
+            )),
         }
     }
 }
@@ -194,7 +207,11 @@ impl RuleEngine {
     }
 
     /// Publishes the per-cycle view into the metrics registry: the
-    /// running `RuleEngineStats` totals plus current lane occupancy.
+    /// running `RuleEngineStats` totals plus current lane occupancy, and
+    /// the saturation attribution — one `rule.<name>.stall` count per
+    /// cycle no live lane is free, split into `lane_masked` (fault
+    /// masking removed lanes that would otherwise be free) vs
+    /// `lane_busy` (every lane genuinely held).
     pub fn publish(&self, ids: &RuleMetrics, m: &mut MetricsRegistry) {
         m.set_counter(ids.allocs, self.stats.allocs);
         m.set_counter(ids.nacks, self.stats.alloc_stalls);
@@ -203,6 +220,31 @@ impl RuleEngine {
         m.set_counter(ids.evictions, self.stats.evictions);
         m.set_gauge(ids.occupied, self.occupied() as f64);
         m.set_gauge(ids.peak_lanes, self.stats.peak_lanes as f64);
+        self.publish_stall(ids, m, 1);
+    }
+
+    /// Publishes `n` skipped quiescent cycles in O(1): the per-cycle
+    /// saturation attribution replayed against the frozen lane state.
+    /// The running totals and gauges are level-valued and need no replay.
+    pub fn publish_skipped(&self, ids: &RuleMetrics, m: &mut MetricsRegistry, n: u64) {
+        self.publish_stall(ids, m, n);
+    }
+
+    fn publish_stall(&self, ids: &RuleMetrics, m: &mut MetricsRegistry, n: u64) {
+        let free_live = self
+            .lanes
+            .iter()
+            .zip(&self.masked)
+            .any(|(l, &masked)| !masked && l.is_none());
+        if free_live {
+            return;
+        }
+        m.inc(ids.stall, n);
+        if self.masked.iter().any(|&masked| masked) {
+            m.inc(ids.stall_lane_masked, n);
+        } else {
+            m.inc(ids.stall_lane_busy, n);
+        }
     }
 
     /// Allocates a lane for a rule instance, never blocking: if all lanes

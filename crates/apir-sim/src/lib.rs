@@ -21,13 +21,16 @@
 //! * [`metrics`] — the named metrics registry (counters, gauges,
 //!   power-of-two histograms) every fabric component publishes into;
 //! * [`trace`] — the bounded structured event trace behind the
-//!   `apir-trace` renderers.
+//!   `apir-trace` renderers;
+//! * [`timeline`] — windowed metric-delta snapshots (a bounded ring of
+//!   per-window activity samples) behind the report `timeline` block.
 
 pub mod bandwidth;
 pub mod delay;
 pub mod fifo;
 pub mod metrics;
 pub mod stats;
+pub mod timeline;
 pub mod trace;
 
 /// A simulation timestamp in clock cycles.

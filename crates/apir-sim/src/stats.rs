@@ -6,6 +6,13 @@
 //! all pipelines instantiated on FPGA". [`ActivityTracker`] records the
 //! per-cycle state of one primitive operation; [`UtilizationSummary`]
 //! aggregates trackers into that exact metric.
+//!
+//! Stalls are further attributed to a [`StallCause`] — the paper's
+//! Figure 9 discussion attributes the utilization gap to specific
+//! structural hazards (QPI bandwidth, outstanding misses, full queues);
+//! the taxonomy here lets every report answer *why* a stage stalled,
+//! not just that it did. The invariant `sum(stall_by) == stall` holds
+//! by construction: every stall-recording path names a cause.
 
 /// Per-cycle state of one component.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -18,6 +25,69 @@ pub enum Activity {
     Idle,
 }
 
+/// Why a component stalled on a given cycle. One cause per stalled
+/// cycle; the dotted metric keys use [`StallCause::key`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StallCause {
+    /// The downstream latch / consumer stage would not accept the value.
+    DownstreamFull = 0,
+    /// A task queue had no bank with free (unreserved) capacity.
+    QueueFull,
+    /// Only the recirculation reserve margin was left in the queue.
+    ReserveFull,
+    /// The out-of-order station (MSHR analogue) had no free slot.
+    MshrFull,
+    /// Memory-link bandwidth credits (or the request channel) exhausted.
+    Bandwidth,
+    /// Waiting on an outstanding memory/extern response to return.
+    MissOutstanding,
+    /// A rendezvous entry is parked waiting for its partner.
+    RendezvousParked,
+    /// All live rule lanes are occupied.
+    LaneBusy,
+    /// Rule lanes are masked by a fault and the rest are occupied.
+    LaneMasked,
+    /// The shared rule bus would not accept another emission.
+    BusFull,
+}
+
+impl StallCause {
+    /// All causes, in stable declaration order (array index order of
+    /// [`ActivityTracker::stall_by`]).
+    pub const ALL: [StallCause; 10] = [
+        StallCause::DownstreamFull,
+        StallCause::QueueFull,
+        StallCause::ReserveFull,
+        StallCause::MshrFull,
+        StallCause::Bandwidth,
+        StallCause::MissOutstanding,
+        StallCause::RendezvousParked,
+        StallCause::LaneBusy,
+        StallCause::LaneMasked,
+        StallCause::BusFull,
+    ];
+
+    /// Number of causes (length of [`ActivityTracker::stall_by`]).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case key segment used in dotted metric keys
+    /// (`<comp>.stall.<cause>`) and JSON exports.
+    pub fn key(self) -> &'static str {
+        match self {
+            StallCause::DownstreamFull => "downstream_full",
+            StallCause::QueueFull => "queue_full",
+            StallCause::ReserveFull => "reserve_full",
+            StallCause::MshrFull => "mshr_full",
+            StallCause::Bandwidth => "bandwidth",
+            StallCause::MissOutstanding => "miss_outstanding",
+            StallCause::RendezvousParked => "rendezvous_parked",
+            StallCause::LaneBusy => "lane_busy",
+            StallCause::LaneMasked => "lane_masked",
+            StallCause::BusFull => "bus_full",
+        }
+    }
+}
+
 /// Accumulated activity of one component.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ActivityTracker {
@@ -27,6 +97,9 @@ pub struct ActivityTracker {
     pub stall: u64,
     /// Cycles spent idle.
     pub idle: u64,
+    /// Stalled cycles attributed per [`StallCause`], indexed by the
+    /// cause's declaration order. `sum(stall_by) == stall` always.
+    pub stall_by: [u64; StallCause::COUNT],
 }
 
 impl ActivityTracker {
@@ -35,7 +108,10 @@ impl ActivityTracker {
         Self::default()
     }
 
-    /// Records one cycle.
+    /// Records one cycle. Stalls recorded through this cause-less entry
+    /// point are attributed to [`StallCause::DownstreamFull`] (the
+    /// generic backpressure cause) so the partition invariant holds;
+    /// prefer [`ActivityTracker::record_stall`] where the cause is known.
     pub fn record(&mut self, a: Activity) {
         self.record_n(a, 1);
     }
@@ -46,9 +122,30 @@ impl ActivityTracker {
     pub fn record_n(&mut self, a: Activity, n: u64) {
         match a {
             Activity::Busy => self.busy += n,
-            Activity::Stall => self.stall += n,
+            Activity::Stall => self.record_stall_n(StallCause::DownstreamFull, n),
             Activity::Idle => self.idle += n,
         }
+    }
+
+    /// Records one stalled cycle attributed to `cause`.
+    pub fn record_stall(&mut self, cause: StallCause) {
+        self.record_stall_n(cause, 1);
+    }
+
+    /// Records `n` stalled cycles attributed to `cause` in O(1).
+    pub fn record_stall_n(&mut self, cause: StallCause, n: u64) {
+        self.stall += n;
+        self.stall_by[cause as usize] += n;
+    }
+
+    /// Stalled cycles attributed to `cause`.
+    pub fn stalls_for(&self, cause: StallCause) -> u64 {
+        self.stall_by[cause as usize]
+    }
+
+    /// `(cause, cycles)` pairs in stable declaration order.
+    pub fn stall_causes(&self) -> impl Iterator<Item = (StallCause, u64)> + '_ {
+        StallCause::ALL.iter().map(|&c| (c, self.stall_by[c as usize]))
     }
 
     /// Total recorded cycles.
@@ -230,5 +327,44 @@ mod tests {
         c.inc();
         c.add(4);
         assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn stall_causes_partition_stall() {
+        let mut t = ActivityTracker::new();
+        t.record_stall(StallCause::MshrFull);
+        t.record_stall_n(StallCause::Bandwidth, 5);
+        t.record(Activity::Stall); // cause-less entry point → DownstreamFull
+        t.record(Activity::Busy);
+        assert_eq!(t.stall, 7);
+        assert_eq!(t.stall_by.iter().sum::<u64>(), t.stall);
+        assert_eq!(t.stalls_for(StallCause::MshrFull), 1);
+        assert_eq!(t.stalls_for(StallCause::Bandwidth), 5);
+        assert_eq!(t.stalls_for(StallCause::DownstreamFull), 1);
+        assert_eq!(t.total(), 8);
+    }
+
+    #[test]
+    fn stall_cause_keys_are_stable_and_unique() {
+        let keys: Vec<&str> = StallCause::ALL.iter().map(|c| c.key()).collect();
+        assert_eq!(keys.len(), StallCause::COUNT);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len(), "duplicate cause key");
+        // Array indexing matches declaration order.
+        for (i, c) in StallCause::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+    }
+
+    #[test]
+    fn stall_cause_iterator_matches_array() {
+        let mut t = ActivityTracker::new();
+        t.record_stall_n(StallCause::LaneMasked, 3);
+        let pairs: Vec<(StallCause, u64)> = t.stall_causes().collect();
+        assert_eq!(pairs.len(), StallCause::COUNT);
+        assert!(pairs.contains(&(StallCause::LaneMasked, 3)));
+        assert_eq!(pairs.iter().map(|&(_, n)| n).sum::<u64>(), t.stall);
     }
 }

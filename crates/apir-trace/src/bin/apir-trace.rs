@@ -13,7 +13,10 @@
 
 use apir_bench::scale::APP_NAMES;
 use apir_bench::Scale;
-use apir_trace::{chaos_run, chrome_trace, text_summary, traced_run};
+use apir_trace::{
+    chaos_run, chrome_trace, diff_docs, text_summary, timeline_csv, timeline_run,
+    timeline_sparkline, traced_run,
+};
 
 const USAGE: &str = "\
 usage: apir-trace <command>
@@ -23,11 +26,25 @@ commands:
             [--faults SEED] [--chrome PATH] [--json PATH]
       Run one builtin app with event tracing and print a summary.
       --scale   workload scale (default: tiny)
-      --cap     trace ring capacity in records (default: 65536)
+      --cap     trace ring capacity in records (default: 65536;
+                0 disables tracing — incompatible with --chrome)
       --faults  arm the chaos fault-injection preset with this seed;
                 the run is still verified against the app checker
       --chrome  write the trace as Chrome-trace JSON to PATH
       --json    write the full report as JSON to PATH
+  timeline <APP> [--scale tiny|small|medium|large] [--window N]
+                 [--cap N] [--faults SEED] [--csv PATH] [--json PATH]
+      Run one builtin app with the windowed timeline recorder and print
+      a busy-fraction sparkline plus per-window CSV.
+      --window  cycles per timeline window (default: 256)
+      --cap     windows retained in the ring (default: 4096)
+      --csv     write the per-window CSV to PATH instead of stdout
+      --json    write the full report as JSON to PATH
+  diff <A.json> <B.json> [--machine] [--tolerance-wall]
+      Compare two report/baseline JSON documents key by key.
+      --machine         stable pipe-separated output for scripts
+      --tolerance-wall  ignore wall-clock keys (wall_ms, mcycles_per_sec)
+      exit 0: identical   exit 1: drift   exit 2: schema mismatch/error
   list
       List the builtin app names.
 ";
@@ -82,12 +99,17 @@ fn cmd_run(args: Vec<String>) {
         }
     }
     let report = match fault_seed {
-        Some(seed) => chaos_run(&app, scale, cap.max(1), seed),
-        None => traced_run(&app, scale, cap.max(1)),
+        Some(seed) => chaos_run(&app, scale, cap, seed),
+        None => traced_run(&app, scale, cap),
     };
     print!("{}", text_summary(&report));
     if let Some(path) = chrome_path {
-        let doc = chrome_trace(&report).expect("tracing was enabled");
+        // `--cap 0` disables tracing, so there is nothing to render;
+        // a plain diagnostic beats the panic this used to be.
+        let Some(doc) = chrome_trace(&report) else {
+            eprintln!("apir-trace: --chrome requires event tracing; rerun with --cap > 0");
+            std::process::exit(2);
+        };
         if let Err(e) = std::fs::write(&path, &doc) {
             eprintln!("apir-trace: writing {path}: {e}");
             std::process::exit(1);
@@ -103,6 +125,136 @@ fn cmd_run(args: Vec<String>) {
     }
 }
 
+fn cmd_timeline(args: Vec<String>) {
+    let mut args = args.into_iter();
+    let Some(app) = args.next() else {
+        fail("timeline needs an app name");
+    };
+    if !APP_NAMES.contains(&app.as_str()) {
+        fail(&format!("unknown app `{app}` (try `apir-trace list`)"));
+    }
+    let mut scale = Scale::Tiny;
+    let mut window: u64 = 256;
+    let mut cap: usize = 4096;
+    let mut fault_seed: Option<u64> = None;
+    let mut csv_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = next_value(&mut args, "--scale");
+                scale = Scale::parse(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown scale `{v}`")));
+            }
+            "--window" => {
+                let v = next_value(&mut args, "--window");
+                window = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--window wants a number, got `{v}`")));
+                if window == 0 {
+                    fail("--window must be positive");
+                }
+            }
+            "--cap" => {
+                let v = next_value(&mut args, "--cap");
+                cap = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--cap wants a number, got `{v}`")));
+            }
+            "--faults" => {
+                let v = next_value(&mut args, "--faults");
+                fault_seed = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("--faults wants a seed, got `{v}`"))),
+                );
+            }
+            "--csv" => csv_path = Some(next_value(&mut args, "--csv")),
+            "--json" => json_path = Some(next_value(&mut args, "--json")),
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    let report = timeline_run(&app, scale, window, cap, fault_seed);
+    let tl = report.timeline.as_ref().expect("recorder was enabled");
+    println!(
+        "{app}: {} cycles, {} windows of {} cycles ({} dropped)",
+        report.cycles,
+        tl.windows.len(),
+        tl.window,
+        tl.dropped
+    );
+    println!(
+        "busy {}",
+        timeline_sparkline(&report).expect("recorder was enabled")
+    );
+    let csv = timeline_csv(&report).expect("recorder was enabled");
+    match csv_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &csv) {
+                eprintln!("apir-trace: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote timeline CSV: {path}");
+        }
+        None => print!("{csv}"),
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("apir-trace: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote report JSON: {path}");
+    }
+}
+
+fn cmd_diff(args: Vec<String>) {
+    let mut machine = false;
+    let mut tolerate_wall = false;
+    let mut paths = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--machine" => machine = true,
+            "--tolerance-wall" => tolerate_wall = true,
+            other if other.starts_with("--") => fail(&format!("unknown flag `{other}`")),
+            _ => paths.push(arg),
+        }
+    }
+    let [a_path, b_path] = paths.as_slice() else {
+        fail("diff needs exactly two JSON files");
+    };
+    let load = |path: &str| -> apir_util::Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("apir-trace: reading {path}: {e}");
+            std::process::exit(2);
+        });
+        apir_util::json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("apir-trace: parsing {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let a = load(a_path);
+    let b = load(b_path);
+    let diffs = match diff_docs(&a, &b, tolerate_wall) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("apir-trace: {e}");
+            std::process::exit(2);
+        }
+    };
+    if machine {
+        for d in &diffs {
+            println!("{}", d.render_machine());
+        }
+    } else if diffs.is_empty() {
+        println!("reports identical");
+    } else {
+        for d in &diffs {
+            println!("{}", d.render());
+        }
+        println!("{} key(s) differ", diffs.len());
+    }
+    std::process::exit(if diffs.is_empty() { 0 } else { 1 });
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -111,6 +263,8 @@ fn main() {
     let cmd = args.remove(0);
     match cmd.as_str() {
         "run" => cmd_run(args),
+        "timeline" => cmd_timeline(args),
+        "diff" => cmd_diff(args),
         "list" => {
             for name in APP_NAMES {
                 println!("{name}");

@@ -65,6 +65,27 @@ pub fn chaos_run(name: &str, scale: Scale, trace_capacity: usize, fault_seed: u6
     report
 }
 
+/// Like [`traced_run`], but with the windowed timeline recorder armed:
+/// the report carries a `timeline` block of per-window activity/memory
+/// deltas (see `apir-trace timeline`). `fault_seed` optionally arms the
+/// chaos preset on top. Fully deterministic like the other runners.
+pub fn timeline_run(
+    name: &str,
+    scale: Scale,
+    window: u64,
+    capacity: usize,
+    fault_seed: Option<u64>,
+) -> FabricReport {
+    let mut cfg = synthesized_cfg(name, scale);
+    cfg.timeline_window = window;
+    cfg.timeline_capacity = capacity;
+    if let Some(seed) = fault_seed {
+        cfg.faults = apir_fabric::FaultConfig::chaos(seed);
+    }
+    let (_, report) = run_verified(name, scale, cfg);
+    report
+}
+
 /// Per-component totals of one event kind: `(occurrences, summed value)`.
 type EventTotals = BTreeMap<(String, &'static str), (u64, u64)>;
 
@@ -85,6 +106,16 @@ fn event_totals(trace: &EventTrace) -> EventTotals {
 pub fn text_summary(report: &FabricReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== fabric run ==");
+    if let Some(t) = &report.trace {
+        if t.dropped() > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: trace ring overflowed; {} oldest records were dropped \
+                 (event totals below are incomplete — raise --cap)",
+                t.dropped()
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "cycles={} seconds={:.6e} utilization={:.4} primitive_ops={}",
@@ -119,6 +150,7 @@ pub fn text_summary(report: &FabricReport) -> String {
             f.watchdog_flushed
         );
     }
+    write_stall_attribution(&mut out, report);
     let _ = writeln!(out, "\n== metrics ({}) ==", report.metrics.entries().len());
     for (key, value) in report.metrics.entries() {
         match value {
@@ -160,6 +192,83 @@ pub fn text_summary(report: &FabricReport) -> String {
         }
     }
     out
+}
+
+fn pct(part: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / total as f64
+    }
+}
+
+/// The "top-down" attribution table: where the stage-cycles went
+/// (busy/stall/idle), which causes the stalls break down into, and which
+/// components were refusing admissions — the paper's Figure 9
+/// utilization story, reproduced from the report's counters.
+fn write_stall_attribution(out: &mut String, report: &FabricReport) {
+    use apir_sim::stats::StallCause;
+    let mut busy = 0u64;
+    let mut stall = 0u64;
+    let mut idle = 0u64;
+    let mut causes = [0u64; StallCause::COUNT];
+    for (_, t) in report.activity.rows() {
+        busy += t.busy;
+        stall += t.stall;
+        idle += t.idle;
+        for (c, n) in t.stall_causes() {
+            causes[c as usize] += n;
+        }
+    }
+    let total = busy + stall + idle;
+    let _ = writeln!(out, "\n== stall attribution ==");
+    let _ = writeln!(
+        out,
+        "stage-cycles: busy={busy} ({:.1}%) stall={stall} ({:.1}%) idle={idle} ({:.1}%)",
+        pct(busy, total),
+        pct(stall, total),
+        pct(idle, total)
+    );
+    let mut ranked: Vec<(StallCause, u64)> = StallCause::ALL
+        .iter()
+        .map(|&c| (c, causes[c as usize]))
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.key().cmp(b.0.key())));
+    for (c, n) in ranked {
+        let _ = writeln!(
+            out,
+            "  stall.{:<24} {n:>12} ({:.1}% of stalls)",
+            c.key(),
+            pct(n, stall)
+        );
+    }
+    // Component admission stalls: every `<comp>.stall` counter in the
+    // snapshot (mem, queues, rule engines), with its cause split. The
+    // fabric-level aggregate is the stage-cycles line above.
+    let entries = report.metrics.entries();
+    let mut wrote_header = false;
+    for (key, value) in entries {
+        let MetricValue::Counter(v) = value else { continue };
+        if *v == 0 || key.starts_with("fabric.") || !key.ends_with(".stall") {
+            continue;
+        }
+        if !wrote_header {
+            let _ = writeln!(out, "component admission stalls:");
+            wrote_header = true;
+        }
+        let mut split = String::new();
+        let prefix = format!("{key}.");
+        for (k2, v2) in entries {
+            let MetricValue::Counter(n) = v2 else { continue };
+            if *n > 0 {
+                if let Some(cause) = k2.strip_prefix(&prefix) {
+                    let _ = write!(split, " {cause}={n}");
+                }
+            }
+        }
+        let _ = writeln!(out, "  {key:<40} {v:>12}{split}");
+    }
 }
 
 fn activity_of(event: &str) -> Option<Activity> {
@@ -246,6 +355,190 @@ pub fn chrome_trace(report: &FabricReport) -> Option<String> {
     Some(doc.render())
 }
 
+/// Renders the report's timeline block as CSV (header + one row per
+/// window). Returns `None` when the run had no timeline recorder.
+pub fn timeline_csv(report: &FabricReport) -> Option<String> {
+    let t = report.timeline.as_ref()?;
+    let mut out = String::from("start,cycles,busy,stall,idle,retired,hits,misses,qpi_bytes\n");
+    for w in &t.windows {
+        let s = &w.sample;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            w.start, w.cycles, s.busy, s.stall, s.idle, s.retired, s.hits, s.misses, s.qpi_bytes
+        );
+    }
+    Some(out)
+}
+
+/// Renders the timeline as a unicode sparkline of per-window busy
+/// fraction (stage-cycles busy over total), one glyph per window.
+/// Returns `None` when the run had no timeline recorder.
+pub fn timeline_sparkline(report: &FabricReport) -> Option<String> {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let t = report.timeline.as_ref()?;
+    let mut s = String::new();
+    for w in &t.windows {
+        let total = w.sample.busy + w.sample.stall + w.sample.idle;
+        let frac = if total == 0 {
+            0.0
+        } else {
+            w.sample.busy as f64 / total as f64
+        };
+        // frac == 1.0 maps to the top glyph, not one past the end.
+        s.push(BARS[((frac * 8.0) as usize).min(7)]);
+    }
+    Some(s)
+}
+
+/// Wall-clock keys excluded from comparison under `--tolerance-wall`
+/// (the same convention as `apir_bench::baseline::strip_wall_lines`).
+pub const WALL_KEYS: [&str; 2] = ["wall_ms", "mcycles_per_sec"];
+
+/// One difference between two flattened report documents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiffLine {
+    /// Key present in both documents with different values.
+    Changed {
+        /// Flattened dotted key.
+        key: String,
+        /// Value in the first document.
+        a: String,
+        /// Value in the second document.
+        b: String,
+    },
+    /// Key present only in the second document.
+    Added {
+        /// Flattened dotted key.
+        key: String,
+        /// Value in the second document.
+        b: String,
+    },
+    /// Key present only in the first document.
+    Removed {
+        /// Flattened dotted key.
+        key: String,
+        /// Value in the first document.
+        a: String,
+    },
+}
+
+impl DiffLine {
+    /// The flattened key this difference is about.
+    pub fn key(&self) -> &str {
+        match self {
+            DiffLine::Changed { key, .. }
+            | DiffLine::Added { key, .. }
+            | DiffLine::Removed { key, .. } => key,
+        }
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        match self {
+            DiffLine::Changed { key, a, b } => format!("~ {key}: {a} -> {b}"),
+            DiffLine::Added { key, b } => format!("+ {key} = {b}"),
+            DiffLine::Removed { key, a } => format!("- {key} (was {a})"),
+        }
+    }
+
+    /// Stable pipe-separated rendering for scripts
+    /// (`changed|key|a|b`, `added|key|b`, `removed|key|a`).
+    pub fn render_machine(&self) -> String {
+        match self {
+            DiffLine::Changed { key, a, b } => format!("changed|{key}|{a}|{b}"),
+            DiffLine::Added { key, b } => format!("added|{key}|{b}"),
+            DiffLine::Removed { key, a } => format!("removed|{key}|{a}"),
+        }
+    }
+}
+
+fn flatten_into(prefix: &str, v: &Json, out: &mut BTreeMap<String, String>) {
+    match v {
+        Json::Obj(members) if !members.is_empty() => {
+            for (k, v) in members {
+                let key = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten_into(&key, v, out);
+            }
+        }
+        Json::Arr(items) if !items.is_empty() => {
+            for (i, v) in items.iter().enumerate() {
+                flatten_into(&format!("{prefix}[{i}]"), v, out);
+            }
+        }
+        // Scalars — and empty composites, so `[]` vs `[1]` still diffs.
+        other => {
+            out.insert(prefix.to_string(), other.render());
+        }
+    }
+}
+
+fn is_wall_key(key: &str) -> bool {
+    let last = key.rsplit('.').next().unwrap_or(key);
+    WALL_KEYS.contains(&last)
+}
+
+/// Compares two report documents key by key.
+///
+/// Both documents are flattened to dotted scalar keys and compared
+/// exactly; `tolerate_wall` skips the non-deterministic wall-clock keys
+/// ([`WALL_KEYS`]). An empty result means the documents are equivalent.
+///
+/// # Errors
+///
+/// When the documents carry different `schema` identifiers — per-key
+/// deltas between different schemas would be noise, so the caller should
+/// treat this as a distinct outcome (exit code 2 in the CLI).
+pub fn diff_docs(a: &Json, b: &Json, tolerate_wall: bool) -> Result<Vec<DiffLine>, String> {
+    let sa = a.get("schema").and_then(Json::as_str);
+    let sb = b.get("schema").and_then(Json::as_str);
+    if sa != sb {
+        return Err(format!(
+            "schema mismatch: {} vs {}",
+            sa.unwrap_or("<none>"),
+            sb.unwrap_or("<none>")
+        ));
+    }
+    let mut fa = BTreeMap::new();
+    let mut fb = BTreeMap::new();
+    flatten_into("", a, &mut fa);
+    flatten_into("", b, &mut fb);
+    let mut out = Vec::new();
+    for (key, va) in &fa {
+        if tolerate_wall && is_wall_key(key) {
+            continue;
+        }
+        match fb.get(key) {
+            Some(vb) if va == vb => {}
+            Some(vb) => out.push(DiffLine::Changed {
+                key: key.clone(),
+                a: va.clone(),
+                b: vb.clone(),
+            }),
+            None => out.push(DiffLine::Removed {
+                key: key.clone(),
+                a: va.clone(),
+            }),
+        }
+    }
+    for (key, vb) in &fb {
+        if tolerate_wall && is_wall_key(key) {
+            continue;
+        }
+        if !fa.contains_key(key) {
+            out.push(DiffLine::Added {
+                key: key.clone(),
+                b: vb.clone(),
+            });
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +575,86 @@ mod tests {
         // There is at least one busy span and one counter sample.
         assert!(evs.iter().any(|e| e.get("ph").unwrap().as_str() == Some("X")));
         assert!(evs.iter().any(|e| e.get("ph").unwrap().as_str() == Some("C")));
+    }
+
+    #[test]
+    fn summary_includes_stall_attribution() {
+        let s = text_summary(&bfs_report());
+        assert!(s.contains("== stall attribution =="));
+        assert!(s.contains("stage-cycles: busy="));
+        assert!(s.contains("% of stalls"));
+    }
+
+    #[test]
+    fn timeline_run_produces_windows_and_renderers() {
+        let r = timeline_run("SPEC-BFS", Scale::Tiny, 64, 1024, None);
+        let t = r.timeline.as_ref().expect("timeline enabled");
+        assert_eq!(t.window, 64);
+        assert!(!t.windows.is_empty());
+        assert_eq!(
+            t.windows.iter().map(|w| w.cycles).sum::<u64>(),
+            r.cycles,
+            "windows cover the whole run"
+        );
+        let csv = timeline_csv(&r).expect("csv renders");
+        assert!(csv.starts_with("start,cycles,busy,"));
+        assert_eq!(csv.lines().count(), t.windows.len() + 1);
+        let spark = timeline_sparkline(&r).expect("sparkline renders");
+        assert_eq!(spark.chars().count(), t.windows.len());
+        // Reports without a recorder render neither.
+        let plain = traced_run("SPEC-BFS", Scale::Tiny, 1 << 14);
+        assert!(plain.timeline.is_none());
+        assert!(timeline_csv(&plain).is_none());
+        assert!(timeline_sparkline(&plain).is_none());
+    }
+
+    #[test]
+    fn diff_identical_docs_is_empty() {
+        let r = bfs_report();
+        let a = apir_util::json::parse(&r.to_json()).unwrap();
+        let b = apir_util::json::parse(&r.to_json()).unwrap();
+        assert_eq!(diff_docs(&a, &b, false).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn diff_reports_changed_added_removed_keys() {
+        let a = apir_util::json::parse(
+            r#"{"schema":"s.v1","x":1,"gone":2,"nest":{"k":[1,2]}}"#,
+        )
+        .unwrap();
+        let b = apir_util::json::parse(
+            r#"{"schema":"s.v1","x":5,"nest":{"k":[1,3]},"fresh":true}"#,
+        )
+        .unwrap();
+        let d = diff_docs(&a, &b, false).unwrap();
+        let keys: Vec<&str> = d.iter().map(DiffLine::key).collect();
+        assert_eq!(keys, ["gone", "nest.k[1]", "x", "fresh"]);
+        assert!(matches!(&d[0], DiffLine::Removed { .. }));
+        assert!(matches!(
+            &d[1],
+            DiffLine::Changed { a, b, .. } if a == "2" && b == "3"
+        ));
+        assert!(matches!(&d[3], DiffLine::Added { b, .. } if b == "true"));
+    }
+
+    #[test]
+    fn diff_schema_mismatch_errors() {
+        let a = apir_util::json::parse(r#"{"schema":"s.v1","x":1}"#).unwrap();
+        let b = apir_util::json::parse(r#"{"schema":"s.v2","x":1}"#).unwrap();
+        let err = diff_docs(&a, &b, false).unwrap_err();
+        assert!(err.contains("s.v1") && err.contains("s.v2"));
+    }
+
+    #[test]
+    fn diff_tolerance_wall_skips_wall_keys_only() {
+        let a = apir_util::json::parse(r#"{"wall_ms":1.5,"mcycles_per_sec":9.0,"x":1}"#).unwrap();
+        let b = apir_util::json::parse(r#"{"wall_ms":2.5,"mcycles_per_sec":4.0,"x":2}"#).unwrap();
+        let strict = diff_docs(&a, &b, false).unwrap();
+        assert_eq!(strict.len(), 3);
+        let tolerant = diff_docs(&a, &b, true).unwrap();
+        assert_eq!(tolerant.len(), 1);
+        assert_eq!(tolerant[0].key(), "x");
+        assert_eq!(tolerant[0].render_machine(), "changed|x|1|2");
     }
 
     #[test]

@@ -42,6 +42,20 @@ impl Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
     }
 
+    /// Builds an object from `(key, Option<value>)` pairs, preserving
+    /// order and *omitting* `None` members — the shared
+    /// "omit-when-default" pattern for optional report blocks (histogram
+    /// `saturated` flags, timeline blocks) so absent data never renders
+    /// as a misleading default value.
+    pub fn obj_sparse(pairs: impl IntoIterator<Item = (impl Into<String>, Option<Json>)>) -> Json {
+        Json::Obj(
+            pairs
+                .into_iter()
+                .filter_map(|(k, v)| v.map(|v| (k.into(), v)))
+                .collect(),
+        )
+    }
+
     /// Builds an array.
     pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
         Json::Arr(items.into_iter().collect())
@@ -434,6 +448,17 @@ mod tests {
             ("s", Json::str("x\"y\n")),
         ]);
         assert_eq!(j.render(), r#"{"b":2,"a":[true,null],"s":"x\"y\n"}"#);
+    }
+
+    #[test]
+    fn obj_sparse_omits_none_members() {
+        let j = Json::obj_sparse([
+            ("always", Some(Json::U64(1))),
+            ("off", None),
+            ("on", Some(Json::Bool(true))),
+        ]);
+        assert_eq!(j.render(), r#"{"always":1,"on":true}"#);
+        assert!(j.get("off").is_none());
     }
 
     #[test]

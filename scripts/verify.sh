@@ -15,12 +15,19 @@ cargo test -q --workspace --offline
 echo "==> apir-lint over the builtin benchmark specs"
 cargo run -q --release --offline -p apir-check --bin apir-lint
 
+bench_base=$(mktemp) ; chaos_a=$(mktemp) ; chaos_b=$(mktemp)
+trap 'rm -f "$bench_base" "$chaos_a" "$chaos_b"' EXIT
+
 echo "==> bench baseline smoke (tiny scale; schema + determinism checked by the emitter)"
+git show :BENCH_fabric.json > "$bench_base"
 cargo run -q --release --offline -p apir-bench --bin figures -- bench
-# Wall-clock lines (wall_ms / mcycles_per_sec) measure the host and are
+# Wall-clock keys (wall_ms / mcycles_per_sec) measure the host and are
 # expected to jitter; every simulated counter must stay byte-identical.
-if ! git diff --exit-code -I '"wall_ms"' -I '"mcycles_per_sec"' -- BENCH_fabric.json; then
-  echo "ERROR: BENCH_fabric.json drifted from the committed baseline." >&2
+# `apir-trace diff` names exactly which counters moved, unlike the old
+# `git diff -I` check, and exits 2 on a schema mismatch.
+if ! cargo run -q --release --offline -p apir-trace -- \
+  diff --machine --tolerance-wall "$bench_base" BENCH_fabric.json; then
+  echo "ERROR: BENCH_fabric.json drifted from the committed baseline (keys above)." >&2
   echo "If the microarchitectural change is intentional, commit the regenerated file." >&2
   exit 1
 fi
@@ -33,14 +40,15 @@ echo "==> chaos suite (pinned seeded fault campaigns, all six apps)"
 cargo test -q --release --offline --test chaos
 
 echo "==> chaos determinism gate (same seed => byte-identical report)"
-chaos_a=$(mktemp) ; chaos_b=$(mktemp)
-trap 'rm -f "$chaos_a" "$chaos_b"' EXIT
 cargo run -q --release --offline -p apir-trace -- \
   run SPEC-SSSP --faults 1 --json "$chaos_a" > /dev/null
 cargo run -q --release --offline -p apir-trace -- \
   run SPEC-SSSP --faults 1 --json "$chaos_b" > /dev/null
-if ! cmp -s "$chaos_a" "$chaos_b"; then
-  echo "ERROR: two chaos runs with the same seed produced different reports." >&2
+# No wall-key tolerance here: the reports contain no host timings, so
+# two same-seed runs must agree on every key.
+if ! cargo run -q --release --offline -p apir-trace -- \
+  diff --machine "$chaos_a" "$chaos_b"; then
+  echo "ERROR: two chaos runs with the same seed produced different reports (keys above)." >&2
   exit 1
 fi
 

@@ -208,6 +208,76 @@ props! {
         }
     }
 
+    /// Stall attribution is a partition, for any pipeline/bank mix, with
+    /// and without a chaos campaign:
+    ///  * every pipeline stage's per-cause stall counts sum exactly to
+    ///    its stall total (no stall is uncaused or double-counted);
+    ///  * every `<comp>.stall` counter in the snapshot equals the sum of
+    ///    its `<comp>.stall.<cause>` sub-counters;
+    ///  * the timeline block covers the run exactly: window cycles sum
+    ///    to the run length, stage-cycles to stages × cycles, and
+    ///    retirements to the retired total.
+    fn stall_causes_partition_stalls(g) {
+        use apir::sim::metrics::MetricValue;
+        let seed = g.gen_range(0u64..1000);
+        let npipes = g.gen_range(1usize..3);
+        let banks = g.gen_range(1usize..4);
+        let graph = std::sync::Arc::new(gen::road_network(6, 6, 0.85, 4, seed));
+        let app = apir::apps::bfs::build(graph, 0, apir::apps::bfs::BfsVariant::Spec);
+        let mut cfg = FabricConfig {
+            pipelines_per_set: npipes,
+            queue_banks: banks,
+            timeline_window: g.gen_range(8u64..128),
+            timeline_capacity: 1 << 20,
+            ..FabricConfig::default()
+        };
+        if g.gen_bool(0.5) {
+            cfg.faults = apir::fabric::FaultConfig::chaos(seed);
+        }
+        let r = Fabric::new(&app.spec, &app.input, cfg).run().unwrap();
+        for (name, t) in r.activity.rows() {
+            let by_cause: u64 = t.stall_causes().map(|(_, n)| n).sum();
+            assert_eq!(t.stall, by_cause, "stage {name}: causes must partition stalls");
+        }
+        for (k, v) in r.metrics.entries() {
+            let MetricValue::Counter(total) = v else { continue };
+            if !k.ends_with(".stall") {
+                continue;
+            }
+            let prefix = format!("{k}.");
+            let by_cause: u64 = r
+                .metrics
+                .entries()
+                .iter()
+                .filter(|(k2, _)| k2.starts_with(&prefix))
+                .map(|(k2, _)| r.metrics.counter(k2).unwrap())
+                .sum();
+            assert_eq!(*total, by_cause, "{k}: causes must partition stalls");
+        }
+        let tl = r.timeline.as_ref().expect("timeline enabled");
+        assert_eq!(tl.dropped, 0, "ring sized for the whole run");
+        assert_eq!(
+            tl.windows.iter().map(|w| w.cycles).sum::<u64>(),
+            r.cycles,
+            "windows cover the run"
+        );
+        let stage_cycles: u64 = tl
+            .windows
+            .iter()
+            .map(|w| w.sample.busy + w.sample.stall + w.sample.idle)
+            .sum();
+        assert_eq!(
+            stage_cycles,
+            r.cycles * r.primitive_ops as u64,
+            "every stage accounted every cycle"
+        );
+        assert_eq!(
+            tl.windows.iter().map(|w| w.sample.retired).sum::<u64>(),
+            r.total_retired(),
+            "windowed retirements sum to the total"
+        );
+    }
+
     /// Under a seeded fault storm the observability layer keeps its
     /// books: the trace ring's conservation invariant holds (records
     /// emitted == retained + dropped — fault events multiply trace volume

@@ -74,6 +74,39 @@ fn reports_match_goldens_exactly() {
 }
 
 #[test]
+fn spec_bfs_stall_cause_vector_is_pinned() {
+    // The full stall-cause attribution vector for one app, pinned
+    // exactly: any change to the cause classification sites in
+    // `tick_pipeline`, the accounting block, or the event wheel's cause
+    // replay shows up here first. The causes must also partition the
+    // total (`fabric.stall`), which itself is busy/idle-consistent with
+    // the run length.
+    let r = baseline_run("SPEC-BFS");
+    let m = &r.metrics;
+    let causes = [
+        ("fabric.stall.downstream_full", 8u64),
+        ("fabric.stall.queue_full", 0),
+        ("fabric.stall.reserve_full", 0),
+        ("fabric.stall.mshr_full", 0),
+        ("fabric.stall.bandwidth", 0),
+        ("fabric.stall.miss_outstanding", 3595),
+        ("fabric.stall.rendezvous_parked", 0),
+        ("fabric.stall.lane_busy", 0),
+        ("fabric.stall.lane_masked", 0),
+        ("fabric.stall.bus_full", 0),
+    ];
+    for (key, want) in causes {
+        assert_eq!(m.counter(key), Some(want), "{key} drifted");
+    }
+    let total: u64 = causes.iter().map(|&(_, n)| n).sum();
+    assert_eq!(m.counter("fabric.stall"), Some(total), "causes partition the total");
+    let busy = m.counter("fabric.busy").unwrap();
+    let idle = m.counter("fabric.idle").unwrap();
+    let stages = r.primitive_ops as u64;
+    assert_eq!(busy + total + idle, r.cycles * stages, "stage-cycles conserved");
+}
+
+#[test]
 fn metrics_registry_agrees_with_report_fields() {
     // The registry is a second bookkeeping path for the same events; the
     // stable keys must agree with the legacy report fields on every app.

@@ -29,6 +29,12 @@ fn tuned_cfg(name: &str, app: &apir::apps::AppInstance) -> FabricConfig {
     scale_cache(&mut cfg, &app.input);
     (app.tune)(&mut cfg);
     cfg.record_retirements = true;
+    // Arm the windowed timeline so the equivalence gate also covers the
+    // wheel's O(1) replay of skipped stretches (the `timeline` block is
+    // part of `to_json`, so any divergence fails the byte comparison),
+    // along with the replayed stall-cause attribution counters.
+    cfg.timeline_window = 32;
+    cfg.timeline_capacity = 256;
     cfg
 }
 
