@@ -178,7 +178,7 @@ pub(super) fn cycles(bdfg: &Bdfg, spec: &Spec, report: &mut Report) {
     }
 }
 
-fn has_guard(op: &BodyOp) -> bool {
+pub(super) fn has_guard(op: &BodyOp) -> bool {
     match op {
         BodyOp::Store { guard, .. }
         | BodyOp::Enqueue { guard, .. }
@@ -192,8 +192,9 @@ fn has_guard(op: &BodyOp) -> bool {
     }
 }
 
-/// Iterative Tarjan strongly-connected components.
-fn sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+/// Iterative Tarjan strongly-connected components (shared with the
+/// semantic analysis pass in [`super::analysis`]).
+pub(super) fn sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
     let n = adj.len();
     let mut index = vec![usize::MAX; n];
     let mut low = vec![0usize; n];

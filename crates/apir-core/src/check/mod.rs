@@ -20,12 +20,14 @@
 //! | `APIR3xx` | interface contracts (arities, labels, externs) |
 //! | `APIR4xx` | memory hazards (spec-level race detection for speculation) |
 //! | `APIR5xx` | fabric configuration sanity (structural resources, watchdog ordering, fault rates) |
+//! | `APIR6xx` | semantic spec×config analysis ([`analysis`]: occupancy bounds, deadlock certification) |
 //!
 //! [`Spec::build`](crate::spec::Spec::build) and
 //! [`Bdfg::validate`](crate::bdfg::Bdfg::validate) are thin wrappers over
 //! [`check_spec`] and [`Bdfg::check`](crate::bdfg::Bdfg::check); the
 //! `apir-check` crate packages the same passes as the `apir-lint` CLI.
 
+pub mod analysis;
 mod bdfg_lints;
 mod hazard;
 mod spec_lints;
@@ -159,6 +161,43 @@ pub enum Lint {
     /// rejects. `fault_window == 1` is legal (maximum trial pressure),
     /// not degenerate.
     DegenerateFaultPlan,
+    /// `APIR601` — the recirculation reserve a recirculating task set
+    /// needs (pipeline latches plus every station slot) exceeds half the
+    /// queue capacity, so the fabric's clamp weakens the requeue-always-
+    /// succeeds guarantee. Informational on its own: the cycle
+    /// certification escalates the consequence (`APIR611` when a rule
+    /// escape rescues the loop, `APIR613` when nothing does).
+    ReserveOverflow,
+    /// `APIR602` — the clamped recirculation reserve cannot hold even one
+    /// in-flight token per pipeline replica of a recirculating set: a full
+    /// queue deadlocks against a full pipeline with certainty once enough
+    /// tasks recirculate.
+    CapacityInfeasible,
+    /// `APIR603` — a queue's statically-derived peak activation demand
+    /// exceeds the capacity left for ordinary (non-recirculation) pushes;
+    /// producers will backpressure on `queue_full`.
+    OccupancyOverCapacity,
+    /// `APIR604` — a queue's occupancy bound was widened to the physical
+    /// capacity because token production is not statically bounded
+    /// (recirculation, expansion, an extern core, or a production cycle).
+    OccupancyWidened,
+    /// `APIR610` — a dependency cycle certified buffered-safe: it is one
+    /// task set's own recirculation loop and the configured reserve covers
+    /// every in-flight token, so the loop can always drain.
+    CycleBufferedSafe,
+    /// `APIR611` — a dependency cycle through a rule engine: the
+    /// obligatory `otherwise` (minimum-live-task broadcast) plus the
+    /// rendezvous bounce rescue it, provided the watchdog ordering of
+    /// `APIR502` holds.
+    CycleWatchdogRescuable,
+    /// `APIR612` — a dependency cycle whose only exits are data-dependent
+    /// guards, with no rule engine and no reserve guarantee: deadlock
+    /// freedom cannot be certified statically.
+    CycleUncertified,
+    /// `APIR613` — a dependency cycle with no decision point at all and
+    /// no reserve coverage: neither steering, nor the watchdog, nor
+    /// buffering can break it. The config-aware escalation of `APIR205`.
+    CycleUnsound,
 }
 
 impl Lint {
@@ -194,6 +233,14 @@ impl Lint {
             Lint::WatchdogMisordered => "APIR502",
             Lint::FaultRateOutOfRange => "APIR503",
             Lint::DegenerateFaultPlan => "APIR504",
+            Lint::ReserveOverflow => "APIR601",
+            Lint::CapacityInfeasible => "APIR602",
+            Lint::OccupancyOverCapacity => "APIR603",
+            Lint::OccupancyWidened => "APIR604",
+            Lint::CycleBufferedSafe => "APIR610",
+            Lint::CycleWatchdogRescuable => "APIR611",
+            Lint::CycleUncertified => "APIR612",
+            Lint::CycleUnsound => "APIR613",
         }
     }
 
@@ -219,7 +266,9 @@ impl Lint {
             | Lint::ZeroFabricResource
             | Lint::WatchdogMisordered
             | Lint::FaultRateOutOfRange
-            | Lint::DegenerateFaultPlan => Severity::Error,
+            | Lint::DegenerateFaultPlan
+            | Lint::CapacityInfeasible
+            | Lint::CycleUnsound => Severity::Error,
             Lint::UnguardedRequeue
             | Lint::CountdownWithoutInit
             | Lint::DuplicateEdge
@@ -227,8 +276,15 @@ impl Lint {
             | Lint::UndecidedCycle
             | Lint::EventFieldOutOfRange
             | Lint::UnusedExtern
-            | Lint::LoadStoreRace => Severity::Warn,
-            Lint::WaitingRuleNoClauses | Lint::ArbitratedRace => Severity::Info,
+            | Lint::LoadStoreRace
+            | Lint::OccupancyOverCapacity
+            | Lint::CycleUncertified => Severity::Warn,
+            Lint::WaitingRuleNoClauses
+            | Lint::ArbitratedRace
+            | Lint::ReserveOverflow
+            | Lint::OccupancyWidened
+            | Lint::CycleBufferedSafe
+            | Lint::CycleWatchdogRescuable => Severity::Info,
         }
     }
 
@@ -264,6 +320,14 @@ impl Lint {
             Lint::WatchdogMisordered => "rendezvous timeout not below the deadlock window",
             Lint::FaultRateOutOfRange => "fault injection rate outside [0, 1]",
             Lint::DegenerateFaultPlan => "fault injection enabled with a degenerate plan",
+            Lint::ReserveOverflow => "recirculation reserve demand exceeds the capacity clamp",
+            Lint::CapacityInfeasible => "reserve cannot hold one in-flight token per pipeline",
+            Lint::OccupancyOverCapacity => "static activation demand exceeds ordinary-push headroom",
+            Lint::OccupancyWidened => "occupancy bound widened to capacity (unbounded production)",
+            Lint::CycleBufferedSafe => "dependency cycle certified safe by the recirculation reserve",
+            Lint::CycleWatchdogRescuable => "dependency cycle rescued by otherwise/bounce watchdog path",
+            Lint::CycleUncertified => "dependency cycle escapes only via data-dependent guards",
+            Lint::CycleUnsound => "dependency cycle with no decision point and no reserve coverage",
         }
     }
 
@@ -299,6 +363,14 @@ impl Lint {
             Lint::WatchdogMisordered,
             Lint::FaultRateOutOfRange,
             Lint::DegenerateFaultPlan,
+            Lint::ReserveOverflow,
+            Lint::CapacityInfeasible,
+            Lint::OccupancyOverCapacity,
+            Lint::OccupancyWidened,
+            Lint::CycleBufferedSafe,
+            Lint::CycleWatchdogRescuable,
+            Lint::CycleUncertified,
+            Lint::CycleUnsound,
         ]
     }
 }

@@ -13,6 +13,8 @@ use crate::fabric::FabricReport;
 use crate::fault::FaultStats;
 use crate::memory::MemStats;
 use crate::rules::RuleEngineStats;
+use apir_core::check::analysis::Analysis;
+use apir_core::check::Report as LintReport;
 use apir_sim::metrics::{Histogram, MetricValue, MetricsSnapshot};
 use apir_sim::stats::UtilizationSummary;
 use apir_sim::timeline::Timeline;
@@ -23,6 +25,134 @@ use apir_util::Json;
 /// `v2` extends `v1` with the per-stage `activity` block (stall-cause
 /// attribution) and the optional `timeline` block (windowed samples).
 pub const REPORT_SCHEMA: &str = "apir.fabric.report.v2";
+
+/// Schema identifier of the static-analysis export
+/// ([`analysis_report_json`]).
+pub const ANALYSIS_SCHEMA: &str = "apir.analysis.report.v1";
+
+/// Schema identifier of the machine-readable lint export
+/// ([`lint_report_json`]).
+pub const LINT_SCHEMA: &str = "apir.lint.report.v1";
+
+/// Renders one lint [`Report`](LintReport) as a JSON value with stable
+/// key order (diagnostics keep the analyzer's deterministic emission
+/// order), so two runs over the same spec render byte-identical blocks.
+pub fn lint_report_block(report: &LintReport) -> Json {
+    Json::obj([
+        ("subject", Json::str(&report.subject)),
+        ("errors", Json::U64(report.error_count() as u64)),
+        (
+            "diagnostics",
+            Json::arr(report.diagnostics().iter().map(|d| {
+                Json::obj_sparse([
+                    ("code", Some(Json::str(d.lint.code()))),
+                    ("severity", Some(Json::str(d.severity.to_string()))),
+                    ("entity", Some(Json::str(&d.entity))),
+                    ("message", Some(Json::str(&d.message))),
+                    ("hint", d.hint.as_deref().map(Json::str)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Assembles the full `apir.lint.report.v1` document from per-subject
+/// lint reports (diffable with `apir-trace diff`).
+pub fn lint_report_json(reports: &[LintReport]) -> Json {
+    Json::obj([
+        ("schema", Json::str(LINT_SCHEMA)),
+        (
+            "reports",
+            Json::arr(reports.iter().map(lint_report_block)),
+        ),
+    ])
+}
+
+/// Renders one app's [`Analysis`] as a JSON value: occupancy bounds,
+/// cycle certifications, the bottleneck prediction, and the backing
+/// `APIR6xx` diagnostics. Deterministic by construction — every list
+/// keeps the analyzer's emission order and all floats are pre-rounded.
+pub fn analysis_block(a: &Analysis) -> Json {
+    let queues = Json::arr(a.queues.iter().map(|q| {
+        Json::obj_sparse([
+            ("task_set", Some(Json::str(&q.task_set))),
+            ("capacity", Some(Json::U64(q.capacity))),
+            ("in_pipe", Some(Json::U64(q.in_pipe))),
+            ("reserve", Some(Json::U64(q.reserve))),
+            ("demand", q.demand.map(Json::U64)),
+            ("bound", Some(Json::U64(q.bound))),
+            ("widened", Some(Json::Bool(q.widened))),
+            ("widen_reason", q.widen_reason.map(Json::str)),
+        ])
+    }));
+    let cycles = Json::arr(a.cycles.iter().map(|c| {
+        Json::obj([
+            ("class", Json::str(c.class.key())),
+            ("size", Json::U64(c.size as u64)),
+            ("anchor", Json::str(&c.anchor)),
+            (
+                "task_sets",
+                Json::arr(c.task_sets.iter().map(Json::str)),
+            ),
+        ])
+    }));
+    let bottleneck = Json::obj([
+        ("cause", Json::str(a.bottleneck.cause)),
+        ("stage", Json::str(&a.bottleneck.stage)),
+        (
+            "scores",
+            Json::Obj(
+                a.bottleneck
+                    .scores
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), Json::Num(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "stages",
+            Json::arr(a.bottleneck.stages.iter().map(|s| {
+                Json::obj([
+                    ("stage", Json::str(&s.stage)),
+                    ("score", Json::Num(s.score)),
+                ])
+            })),
+        ),
+        (
+            "weights",
+            Json::Obj(
+                a.bottleneck
+                    .weights
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    Json::obj([
+        ("queues", queues),
+        ("cycles", cycles),
+        ("bottleneck", bottleneck),
+        ("lint", lint_report_block(&a.report)),
+    ])
+}
+
+/// Assembles the full `apir.analysis.report.v1` document: one
+/// [`analysis_block`] per app, in the given order (the committed
+/// `ANALYSIS_baseline.json` pins this byte-for-byte).
+pub fn analysis_report_json<'a>(apps: impl IntoIterator<Item = (&'a str, &'a Analysis)>) -> Json {
+    Json::obj([
+        ("schema", Json::str(ANALYSIS_SCHEMA)),
+        (
+            "apps",
+            Json::Obj(
+                apps.into_iter()
+                    .map(|(name, a)| (name.to_string(), analysis_block(a)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
 
 fn histogram_json(h: &Histogram) -> Json {
     // A capped sum is no longer exact; flag it so downstream consumers

@@ -452,6 +452,17 @@ impl Fabric {
         // `run` to simulate a graph or a configuration it knows is broken.
         let mut lint = apir_core::check::check_all(spec);
         lint.merge(cfg.validate());
+        // Config-aware semantic analysis (`APIR6xx`): statically-certain
+        // reserve starvation and unsound dependency cycles refuse to run
+        // just like broken specs do. Skipped when the families above
+        // already found errors — the analysis would reason about a graph
+        // or config known to be invalid.
+        if !lint.has_errors() {
+            let params = crate::analysis_params(&cfg, spec, input);
+            if let Some(a) = apir_core::check::analysis::analyze(spec, &params) {
+                lint.merge(a.report);
+            }
+        }
         let lint_errors = lint.has_errors().then(|| lint.render_text());
         let timeline = (cfg.timeline_window > 0)
             .then(|| TimelineRecorder::new(cfg.timeline_window, cfg.timeline_capacity));

@@ -44,6 +44,64 @@ pub use fault::{FaultConfig, FaultPlan, FaultStats};
 pub use memory::MemConfig;
 pub use resource::{estimate_resources, ResourceReport, StratixV};
 
+/// Re-export of the semantic-analysis pass so downstream crates that
+/// only depend on `apir-fabric` (e.g. `apir-trace`) can name its types
+/// without a direct `apir-core` dependency.
+pub use apir_core::check::analysis;
+
+/// Derives the semantic-analysis inputs ([`apir_core::check::analysis`])
+/// for a spec×input×config triple: the structural fabric parameters, the
+/// memory-model numbers converted to cycles at the configured clock, the
+/// program's working-set footprint, and the per-set seed counts.
+///
+/// [`Fabric::new`] uses this to fold the `APIR6xx` findings into its lint
+/// gate; `apir-lint --analyze` and `apir-trace analyze` call it so the
+/// static report matches what the fabric would check.
+pub fn analysis_params(
+    cfg: &FabricConfig,
+    spec: &apir_core::Spec,
+    input: &apir_core::ProgramInput,
+) -> apir_core::check::analysis::AnalysisParams {
+    let mut seeds = vec![0u64; spec.task_sets().len()];
+    for t in &input.initial {
+        if let Some(s) = seeds.get_mut(t.task_set.0) {
+            *s += 1;
+        }
+    }
+    let clock = cfg.mem.clock_mhz.max(1);
+    apir_core::check::analysis::AnalysisParams {
+        pipelines_per_set: cfg.pipelines_per_set,
+        queue_banks: cfg.queue_banks,
+        queue_capacity: cfg.queue_capacity,
+        rule_lanes: cfg.rule_lanes,
+        lsu_window: cfg.lsu_window,
+        rendezvous_window: cfg.rendezvous_window,
+        hit_latency: cfg.mem.hit_latency,
+        miss_extra_cycles: apir_sim::cycles_from_ns(clock, cfg.mem.miss_extra_ns),
+        mshr_depth: cfg.mem.max_inflight_misses,
+        requests_per_cycle: cfg.mem.requests_per_cycle,
+        // GB/s at MHz: bytes per cycle = gbps * 1e9 / (mhz * 1e6).
+        qpi_bytes_per_cycle: cfg.mem.qpi_gbps * 1000.0 / clock as f64,
+        line_bytes: cfg.mem.line_bytes,
+        cache_bytes: cfg.mem.cache_kb as u64 * 1024,
+        footprint_bytes: input.mem.flat_words() * 8,
+        seeds,
+        ..Default::default()
+    }
+}
+
+/// Runs the full semantic analysis (`APIR6xx` + bottleneck prediction)
+/// for a spec×input×config triple — [`analysis_params`] followed by
+/// [`analysis::analyze`]. Returns `None` when the spec cannot be lowered
+/// to a BDFG (error-level structural lints), mirroring `analyze` itself.
+pub fn analyze_config(
+    cfg: &FabricConfig,
+    spec: &apir_core::Spec,
+    input: &apir_core::ProgramInput,
+) -> Option<analysis::Analysis> {
+    analysis::analyze(spec, &analysis_params(cfg, spec, input))
+}
+
 /// Template parameters of a synthesized accelerator (the paper's MoA
 /// parameters, normally chosen by the `apir-synth` heuristic).
 #[derive(Clone, Debug)]

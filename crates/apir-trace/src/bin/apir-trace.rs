@@ -14,8 +14,8 @@
 use apir_bench::scale::APP_NAMES;
 use apir_bench::Scale;
 use apir_trace::{
-    chaos_run, chrome_trace, diff_docs, text_summary, timeline_csv, timeline_run,
-    timeline_sparkline, traced_run,
+    analysis_report, analyze_app, chaos_run, chrome_trace, diff_docs, text_summary, timeline_csv,
+    timeline_run, timeline_sparkline, traced_run, validate_analysis,
 };
 
 const USAGE: &str = "\
@@ -40,6 +40,19 @@ commands:
       --cap     windows retained in the ring (default: 4096)
       --csv     write the per-window CSV to PATH instead of stdout
       --json    write the full report as JSON to PATH
+  analyze [APP...] [--scale tiny|small|medium|large] [--json PATH]
+      Static semantic analysis (APIR6xx occupancy bounds, deadlock
+      certification, bottleneck prediction) under the same synthesized
+      baseline configuration the dynamic runners use. With no APP,
+      analyzes all six builtins.
+      --json    write the apir.analysis.report.v1 document to PATH
+                (the content of the committed ANALYSIS_baseline.json)
+  validate-analysis [APP...] [--scale tiny|small|medium|large]
+      Run each app on the synthesized fabric and hold the static
+      analysis to its contract: measured peak queue occupancy <= the
+      static bound, and the predicted dominant stall cause equal to
+      the measured fabric.stall.* top cause.
+      exit 0: validated   exit 1: contract violation
   diff <A.json> <B.json> [--machine] [--tolerance-wall]
       Compare two report/baseline JSON documents key by key.
       --machine         stable pipe-separated output for scripts
@@ -206,6 +219,97 @@ fn cmd_timeline(args: Vec<String>) {
     }
 }
 
+/// Parses the shared `[APP...] [--scale S]` tail of the analysis
+/// commands; defaults to all six builtins when no APP is named.
+fn analysis_targets(args: Vec<String>, json_flag: bool) -> (Vec<String>, Scale, Option<String>) {
+    let mut args = args.into_iter();
+    let mut scale = Scale::Tiny;
+    let mut json_path: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = next_value(&mut args, "--scale");
+                scale = Scale::parse(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown scale `{v}`")));
+            }
+            "--json" if json_flag => json_path = Some(next_value(&mut args, "--json")),
+            other if other.starts_with('-') => fail(&format!("unknown flag `{other}`")),
+            app => {
+                if !APP_NAMES.contains(&app) {
+                    fail(&format!("unknown app `{app}` (try `apir-trace list`)"));
+                }
+                names.push(app.to_string());
+            }
+        }
+    }
+    if names.is_empty() {
+        names = APP_NAMES.iter().map(|n| n.to_string()).collect();
+    }
+    (names, scale, json_path)
+}
+
+fn cmd_analyze(args: Vec<String>) {
+    let (names, scale, json_path) = analysis_targets(args, true);
+    for name in &names {
+        let a = analyze_app(name, scale);
+        print!("{}", a.report.render_text());
+        for q in &a.queues {
+            match (q.widened, q.widen_reason, q.demand) {
+                (true, Some(reason), _) => println!(
+                    "{name}: queue `{}` bound {} (widened: {reason})",
+                    q.task_set, q.bound
+                ),
+                (_, _, Some(d)) => println!(
+                    "{name}: queue `{}` bound {} (finite demand {d})",
+                    q.task_set, q.bound
+                ),
+                _ => println!("{name}: queue `{}` bound {}", q.task_set, q.bound),
+            }
+        }
+        println!(
+            "{name}: predicted bottleneck `{}` at stage `{}`",
+            a.bottleneck.cause, a.bottleneck.stage
+        );
+    }
+    if let Some(path) = json_path {
+        // The document always covers all six apps so the committed
+        // baseline is independent of the APP selection above.
+        let doc = analysis_report(scale);
+        let mut text = doc.render_pretty();
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("apir-trace: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote analysis report JSON: {path}");
+    }
+}
+
+fn cmd_validate_analysis(args: Vec<String>) {
+    let (names, scale, _) = analysis_targets(args, false);
+    let mut failed = false;
+    for name in &names {
+        let v = validate_analysis(name, scale);
+        println!(
+            "{name}: predicted `{}` at `{}`; measured top cause `{}` ({} stall cycles)",
+            v.predicted_cause, v.predicted_stage, v.measured_cause, v.measured_stalls
+        );
+        for (set, peak, bound) in &v.queues {
+            println!("{name}: queue `{set}` peak {peak} <= bound {bound}");
+        }
+        for violation in &v.violations {
+            println!("{name}: VIOLATION: {violation}");
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("apir-trace: static analysis contract violated (see VIOLATION lines)");
+        std::process::exit(1);
+    }
+    println!("validate-analysis OK: bounds sound, predictions match");
+}
+
 fn cmd_diff(args: Vec<String>) {
     let mut machine = false;
     let mut tolerate_wall = false;
@@ -264,6 +368,8 @@ fn main() {
     match cmd.as_str() {
         "run" => cmd_run(args),
         "timeline" => cmd_timeline(args),
+        "analyze" => cmd_analyze(args),
+        "validate-analysis" => cmd_validate_analysis(args),
         "diff" => cmd_diff(args),
         "list" => {
             for name in APP_NAMES {

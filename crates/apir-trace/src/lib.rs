@@ -86,6 +86,117 @@ pub fn timeline_run(
     report
 }
 
+/// Static semantic analysis ([`apir_fabric::analysis`]) of one builtin
+/// app under the same synthesized baseline configuration the dynamic
+/// runners use — `synthesized_cfg` plus the cache scaling and tuning
+/// hooks `run_verified` applies — so [`validate_analysis`] compares the
+/// prediction against the exact fabric it measures.
+///
+/// # Panics
+///
+/// Panics on an unknown app name or an unlowerable spec (builtin specs
+/// are held lint-clean, so neither happens in practice).
+pub fn analyze_app(name: &str, scale: Scale) -> apir_fabric::analysis::Analysis {
+    let app = apir_bench::scale::build_app(name, scale);
+    let mut cfg = synthesized_cfg(name, scale);
+    apir_bench::experiments::scale_cache(&mut cfg, &app.input);
+    (app.tune)(&mut cfg);
+    apir_fabric::analyze_config(&cfg, &app.spec, &app.input)
+        .unwrap_or_else(|| panic!("{name}: builtin spec failed to lower"))
+}
+
+/// The `apir.analysis.report.v1` document over every builtin app at
+/// `scale` — the content of the committed `ANALYSIS_baseline.json`.
+/// Byte-deterministic: the same scale renders the same bytes.
+pub fn analysis_report(scale: Scale) -> Json {
+    let analyses: Vec<(&str, apir_fabric::analysis::Analysis)> = apir_bench::scale::APP_NAMES
+        .iter()
+        .map(|&n| (n, analyze_app(n, scale)))
+        .collect();
+    apir_fabric::export::analysis_report_json(analyses.iter().map(|&(n, ref a)| (n, a)))
+}
+
+/// Outcome of one static-vs-dynamic validation ([`validate_analysis`]).
+pub struct AnalysisValidation {
+    /// App name.
+    pub app: String,
+    /// Dominant stall cause the static predictor named.
+    pub predicted_cause: String,
+    /// Pipeline stage the static predictor named.
+    pub predicted_stage: String,
+    /// Argmax of the measured `fabric.stall.*` vector (ties resolved in
+    /// `StallCause::ALL` order, matching the predictor's key order);
+    /// `"none"` when the run never stalled.
+    pub measured_cause: String,
+    /// Stall cycles attributed to the measured dominant cause.
+    pub measured_stalls: u64,
+    /// Per task set: `(name, measured peak occupancy, static bound)`.
+    pub queues: Vec<(String, u64, u64)>,
+    /// Human-readable contract violations; empty means validated.
+    pub violations: Vec<String>,
+}
+
+impl AnalysisValidation {
+    /// True when both contracts held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs one builtin app on the synthesized fabric and validates the
+/// static analysis against the measured run:
+///
+/// 1. **soundness** — every observed peak queue occupancy must stay at
+///    or under the static occupancy bound;
+/// 2. **prediction** — the predicted dominant stall cause must equal
+///    the top cause of the measured `fabric.stall.*` vector (skipped
+///    when the run recorded zero stall cycles — there is no ground
+///    truth to match).
+pub fn validate_analysis(name: &str, scale: Scale) -> AnalysisValidation {
+    let analysis = analyze_app(name, scale);
+    let (_, report) = run_verified(name, scale, synthesized_cfg(name, scale));
+
+    let mut measured_cause = "none";
+    let mut measured_stalls = 0u64;
+    for c in apir_sim::stats::StallCause::ALL {
+        let key = format!("fabric.stall.{}", c.key());
+        let v = report.metrics.counter(&key).unwrap_or(0);
+        if v > measured_stalls {
+            measured_stalls = v;
+            measured_cause = c.key();
+        }
+    }
+
+    let mut queues = Vec::new();
+    let mut violations = Vec::new();
+    for (i, q) in analysis.queues.iter().enumerate() {
+        let peak = report.queue_peaks.get(i).copied().unwrap_or(0) as u64;
+        if peak > q.bound {
+            violations.push(format!(
+                "queue `{}`: measured peak {peak} exceeds static bound {}",
+                q.task_set, q.bound
+            ));
+        }
+        queues.push((q.task_set.clone(), peak, q.bound));
+    }
+    if measured_stalls > 0 && analysis.bottleneck.cause != measured_cause {
+        violations.push(format!(
+            "predicted dominant stall cause `{}` but measured `{measured_cause}` \
+             ({measured_stalls} stall cycles)",
+            analysis.bottleneck.cause
+        ));
+    }
+    AnalysisValidation {
+        app: name.to_string(),
+        predicted_cause: analysis.bottleneck.cause.to_string(),
+        predicted_stage: analysis.bottleneck.stage.clone(),
+        measured_cause: measured_cause.to_string(),
+        measured_stalls,
+        queues,
+        violations,
+    }
+}
+
 /// Per-component totals of one event kind: `(occurrences, summed value)`.
 type EventTotals = BTreeMap<(String, &'static str), (u64, u64)>;
 

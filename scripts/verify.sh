@@ -15,8 +15,24 @@ cargo test -q --workspace --offline
 echo "==> apir-lint over the builtin benchmark specs"
 cargo run -q --release --offline -p apir-check --bin apir-lint
 
-bench_base=$(mktemp) ; chaos_a=$(mktemp) ; chaos_b=$(mktemp)
-trap 'rm -f "$bench_base" "$chaos_a" "$chaos_b"' EXIT
+echo "==> apir-lint --analyze --strict (APIR6xx semantic analysis, no warnings allowed)"
+cargo run -q --release --offline -p apir-check --bin apir-lint -- --analyze --strict > /dev/null
+
+bench_base=$(mktemp) ; chaos_a=$(mktemp) ; chaos_b=$(mktemp) ; analysis_tmp=$(mktemp)
+trap 'rm -f "$bench_base" "$chaos_a" "$chaos_b" "$analysis_tmp"' EXIT
+
+echo "==> static-analysis baseline drift gate (apir.analysis.report.v1)"
+cargo run -q --release --offline -p apir-trace -- analyze --json "$analysis_tmp" > /dev/null
+if ! cargo run -q --release --offline -p apir-trace -- \
+  diff --machine "$analysis_tmp" ANALYSIS_baseline.json; then
+  echo "ERROR: ANALYSIS_baseline.json drifted from the committed baseline (keys above)." >&2
+  echo "If the analysis change is intentional, regenerate it:" >&2
+  echo "  cargo run -p apir-trace -- analyze --json ANALYSIS_baseline.json" >&2
+  exit 1
+fi
+
+echo "==> static-vs-dynamic validation (bounds sound, predicted cause == measured)"
+cargo run -q --release --offline -p apir-trace -- validate-analysis > /dev/null
 
 echo "==> bench baseline smoke (tiny scale; schema + determinism checked by the emitter)"
 git show :BENCH_fabric.json > "$bench_base"

@@ -311,6 +311,86 @@ props! {
         );
     }
 
+    /// The static occupancy bounds (`apir_core::check::analysis`) are
+    /// sound: for random fabric geometry (pipelines, banks, capacity,
+    /// LSU window), with and without a chaos fault campaign, the
+    /// observed peak occupancy of every queue stays at or under the
+    /// analysis bound. Geometries the analysis itself condemns
+    /// (error-level APIR6xx, e.g. a starved recirculation reserve) are
+    /// rejected by `Fabric::new` — the other half of the contract.
+    fn occupancy_bounds_are_sound(g) {
+        let seed = g.gen_range(0u64..1000);
+        let npipes = g.gen_range(1usize..5);
+        let banks = g.gen_range(1usize..5);
+        let capacity = g.gen_range(256usize..2048);
+        let lsu = g.gen_range(4usize..32);
+        let variant = if g.gen_bool(0.5) {
+            apir::apps::bfs::BfsVariant::Spec
+        } else {
+            apir::apps::bfs::BfsVariant::Coor
+        };
+        let graph = std::sync::Arc::new(gen::road_network(6, 6, 0.85, 4, seed));
+        let app = apir::apps::bfs::build(graph, 0, variant);
+        let mut cfg = FabricConfig {
+            pipelines_per_set: npipes,
+            queue_banks: banks,
+            queue_capacity: capacity,
+            lsu_window: lsu,
+            ..FabricConfig::default()
+        };
+        if g.gen_bool(0.5) {
+            cfg.faults = apir::fabric::FaultConfig::chaos(seed);
+        }
+        let analysis = apir::fabric::analyze_config(&cfg, &app.spec, &app.input)
+            .expect("builtin specs lower");
+        match Fabric::new(&app.spec, &app.input, cfg.clone()).run() {
+            Ok(r) => {
+                for (i, q) in analysis.queues.iter().enumerate() {
+                    let peak = r.queue_peaks[i] as u64;
+                    assert!(
+                        peak <= q.bound,
+                        "queue `{}` peak {peak} exceeds static bound {} \
+                         (pipes={npipes} banks={banks} cap={capacity} lsu={lsu})",
+                        q.task_set, q.bound
+                    );
+                }
+            }
+            Err(_) => {
+                assert!(
+                    analysis.report.has_errors() || cfg.validate().has_errors(),
+                    "fabric rejected a config the static analysis accepted"
+                );
+            }
+        }
+
+        // Finite-demand side: a seed-only spec (no enqueues) gets an
+        // exact bound — the seed count — and the fabric never tops it.
+        let mut s = Spec::new("faa");
+        let r = s.region("acc", 16);
+        let ts = s.task_set("t", TaskSetKind::ForAll, 1, &["i"]);
+        let mut b = s.body(ts);
+        let i = b.field(0);
+        let one = b.konst(1);
+        b.store(r, i, one, apir::core::op::StoreKind::Add, None);
+        b.finish();
+        let s = s.build().unwrap();
+        let nseeds = g.gen_range(1u64..128);
+        let mut input = ProgramInput::new(&s);
+        for k in 0..nseeds {
+            input.seed(&s, ts, &[k % 16]);
+        }
+        let analysis = apir::fabric::analyze_config(&cfg, &s, &input)
+            .expect("trivial spec lowers");
+        let q = &analysis.queues[0];
+        assert!(!q.widened, "seed-only spec must get a finite bound");
+        let run = Fabric::new(&s, &input, cfg).run().unwrap();
+        assert!(
+            run.queue_peaks[0] as u64 <= q.bound,
+            "faa peak {} exceeds finite bound {} ({nseeds} seeds)",
+            run.queue_peaks[0], q.bound
+        );
+    }
+
     /// Commutative fetch-and-add workloads give identical images on the
     /// fabric regardless of configuration.
     fn fabric_faa_deterministic(g) {
