@@ -1,0 +1,401 @@
+//! Plan expansion, job execution, and the deterministic merge.
+//!
+//! [`expand`] turns a plan into jobs **sorted by `(app, config, seed)`**
+//! — the merge key. [`run_campaign`] dispatches them on the
+//! work-stealing pool ([`apir_runtime::dispatch::run_ordered`]) and
+//! streams one JSONL record per cell through the caller's sink in key
+//! order, so the merged output of an 8-thread run is byte-identical to
+//! a 1-thread run. A failing cell — a `FabricError`, a checker
+//! rejection, or an outright panic — becomes a structured error record;
+//! it never aborts the fleet.
+
+use crate::plan::{CampaignPlan, ConfigVariant};
+use apir_bench::experiments::{scale_cache, synthesized_cfg};
+use apir_bench::scale::build_app;
+use apir_bench::Scale;
+use apir_fabric::{Fabric, FabricConfig, FabricError, FabricReport, FaultConfig};
+use apir_util::Json;
+use std::time::Instant;
+
+/// Schema of the single-document results rendering ([`results_doc`]).
+pub const RESULTS_SCHEMA: &str = "apir.campaign.results.v1";
+
+/// One cell of the campaign matrix.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Builtin app name.
+    pub app: String,
+    /// The configuration variant (already validated).
+    pub config: ConfigVariant,
+    /// Cell seed (fault seed when `config.chaos`).
+    pub seed: u64,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl Job {
+    /// The merge key, also used in log lines: `app/config/seed`.
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}", self.app, self.config.id, self.seed)
+    }
+}
+
+/// Expands a plan into its jobs, sorted by `(app, config id, seed)`.
+/// The order is a pure function of the plan — it is the merge order of
+/// the result stream, independent of thread count and scheduling.
+pub fn expand(plan: &CampaignPlan) -> Vec<Job> {
+    let mut jobs: Vec<Job> = Vec::with_capacity(plan.cells());
+    for app in &plan.apps {
+        for config in &plan.configs {
+            for &seed in &plan.seeds {
+                jobs.push(Job {
+                    app: app.clone(),
+                    config: config.clone(),
+                    seed,
+                    scale: plan.scale,
+                });
+            }
+        }
+    }
+    jobs.sort_by(|a, b| {
+        (a.app.as_str(), a.config.id.as_str(), a.seed)
+            .cmp(&(b.app.as_str(), b.config.id.as_str(), b.seed))
+    });
+    jobs
+}
+
+/// A structured per-cell failure. Deterministic: the same job produces
+/// the same error record on every run and every thread count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobError {
+    /// Failure class: `deadlock`, `max_cycles`, `link_failed`,
+    /// `rejected_by_lint`, `check`, or `panic`.
+    pub kind: &'static str,
+    /// Simulated cycle at the failure point, when the fabric got far
+    /// enough to have one.
+    pub cycle: Option<u64>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl JobError {
+    fn from_fabric(e: FabricError) -> Self {
+        let (kind, cycle) = match &e {
+            FabricError::Deadlock { cycle, .. } => ("deadlock", Some(*cycle)),
+            FabricError::MaxCycles { cycle, .. } => ("max_cycles", Some(*cycle)),
+            FabricError::LinkFailed { cycle, .. } => ("link_failed", Some(*cycle)),
+            FabricError::RejectedByLint { .. } => ("rejected_by_lint", None),
+        };
+        JobError {
+            kind,
+            cycle,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// The fabric configuration a job runs under: the app's synthesized +
+/// cache-scaled + tuned baseline (the exact recipe of
+/// `apir_bench::experiments::run_verified`), then the variant's
+/// overrides, then the chaos preset when armed.
+pub fn job_cfg(job: &Job, input: &apir_core::ProgramInput, tune: &dyn Fn(&mut FabricConfig)) -> FabricConfig {
+    let mut cfg = synthesized_cfg(&job.app, job.scale);
+    scale_cache(&mut cfg, input);
+    tune(&mut cfg);
+    job.config.overrides.apply(&mut cfg);
+    if job.config.chaos {
+        cfg.faults = FaultConfig::chaos(job.seed);
+    }
+    cfg
+}
+
+/// Runs one cell to completion: build, simulate, verify.
+///
+/// # Errors
+///
+/// A [`JobError`] classifying the fabric error or checker rejection.
+/// Panics inside the fabric are *not* caught here — the dispatcher
+/// captures them and the campaign records them as `kind: "panic"`.
+pub fn run_job(job: &Job) -> Result<FabricReport, JobError> {
+    let app = build_app(&job.app, job.scale);
+    let cfg = job_cfg(job, &app.input, &app.tune);
+    let report =
+        Fabric::execute(&app.spec, &app.input, cfg).map_err(JobError::from_fabric)?;
+    (app.check)(&report.mem_image).map_err(|message| JobError {
+        kind: "check",
+        cycle: Some(report.cycles),
+        message,
+    })?;
+    Ok(report)
+}
+
+/// Renders one result record (one JSONL line). Key fields lead so the
+/// stream is greppable; `status` is `"ok"` (with the full
+/// `apir.fabric.report.v2` document inlined under `report`) or
+/// `"error"` (with the structured [`JobError`] under `error`).
+pub fn record(job: &Job, outcome: &Result<FabricReport, JobError>) -> Json {
+    let mut members = vec![
+        ("app".to_string(), Json::str(job.app.as_str())),
+        ("config".to_string(), Json::str(job.config.id.as_str())),
+        ("seed".to_string(), Json::U64(job.seed)),
+    ];
+    match outcome {
+        Ok(report) => {
+            members.push(("status".to_string(), Json::str("ok")));
+            members.push(("report".to_string(), report.to_json_value()));
+        }
+        Err(e) => {
+            members.push(("status".to_string(), Json::str("error")));
+            members.push((
+                "error".to_string(),
+                Json::obj_sparse([
+                    ("kind", Some(Json::str(e.kind))),
+                    ("cycle", e.cycle.map(Json::U64)),
+                    ("message", Some(Json::str(e.message.as_str()))),
+                ]),
+            ));
+        }
+    }
+    Json::Obj(members)
+}
+
+/// What a finished campaign looked like. Wall-clock fields measure the
+/// host and are *not* part of any deterministic output — they render in
+/// the human summary only.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CampaignSummary {
+    /// Cells run (every cell always produces exactly one record).
+    pub jobs: u64,
+    /// Cells that produced an error record.
+    pub failed: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Steals performed by idle workers.
+    pub steals: usize,
+    /// Peak completed-but-unmerged results (≤ the in-flight cap).
+    pub peak_inflight: usize,
+    /// Host wall time of the whole campaign.
+    pub wall_ms: f64,
+    /// Throughput: `jobs / wall seconds`.
+    pub jobs_per_sec: f64,
+}
+
+impl CampaignSummary {
+    /// The `campaign.*` metric line, stable keys in a stable order.
+    pub fn render(&self) -> String {
+        format!(
+            "campaign.jobs={} campaign.failed={} campaign.threads={} \
+             campaign.steals={} campaign.peak_inflight={} \
+             campaign.wall_ms={:.1} campaign.jobs_per_sec={:.1}",
+            self.jobs,
+            self.failed,
+            self.threads,
+            self.steals,
+            self.peak_inflight,
+            self.wall_ms,
+            self.jobs_per_sec
+        )
+    }
+}
+
+/// Default cap on completed-but-unmerged results per campaign.
+pub const DEFAULT_INFLIGHT: usize = 32;
+
+/// Runs a whole campaign: expand, dispatch on `threads` work-stealing
+/// workers, and hand every record to `sink` in merge-key order. The
+/// record stream is byte-deterministic across thread counts; only the
+/// wall-clock fields of the returned summary vary.
+pub fn run_campaign<S>(
+    plan: &CampaignPlan,
+    threads: usize,
+    inflight: usize,
+    mut sink: S,
+) -> CampaignSummary
+where
+    S: FnMut(&Json) + Send,
+{
+    let jobs = expand(plan);
+    let t0 = Instant::now();
+    let mut failed = 0u64;
+    let stats = apir_runtime::dispatch::run_ordered(
+        jobs.len(),
+        threads,
+        inflight.max(1),
+        |i| run_job(&jobs[i]),
+        |i, result| {
+            // A worker panic is flattened into the same structured error
+            // shape as a clean fabric failure.
+            let outcome = match result {
+                Ok(r) => r,
+                Err(message) => Err(JobError {
+                    kind: "panic",
+                    cycle: None,
+                    message,
+                }),
+            };
+            if outcome.is_err() {
+                failed += 1;
+            }
+            sink(&record(&jobs[i], &outcome));
+        },
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    CampaignSummary {
+        jobs: stats.jobs as u64,
+        failed,
+        threads: threads.max(1),
+        steals: stats.steals,
+        peak_inflight: stats.peak_inflight,
+        wall_ms: wall * 1e3,
+        jobs_per_sec: if wall > 0.0 {
+            stats.jobs as f64 / wall
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Assembles the single-document rendering (`apir.campaign.results.v1`)
+/// from already-merged records. Only deterministic summary fields go in
+/// — no wall-clock keys — so the document is diffable with
+/// `apir-trace diff` and byte-identical across thread counts.
+pub fn doc_from(plan: &CampaignPlan, records: Vec<Json>, summary: &CampaignSummary) -> Json {
+    Json::obj([
+        ("schema", Json::str(RESULTS_SCHEMA)),
+        ("scale", Json::str(plan.scale.name())),
+        ("jobs", Json::U64(summary.jobs)),
+        ("failed", Json::U64(summary.failed)),
+        ("results", Json::Arr(records)),
+    ])
+}
+
+/// Runs a campaign and collects it into the single-document rendering.
+pub fn results_doc(plan: &CampaignPlan, threads: usize, inflight: usize) -> (Json, CampaignSummary) {
+    let mut records: Vec<Json> = Vec::new();
+    let summary = run_campaign(plan, threads, inflight, |r| records.push(r.clone()));
+    (doc_from(plan, records, &summary), summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::parse_plan;
+
+    fn tiny_plan(extra_cfg: &str) -> CampaignPlan {
+        parse_plan(&format!(
+            r#"{{"schema":"apir.campaign.plan.v1","scale":"tiny",
+                 "apps":["SPEC-BFS"],"seeds":[2,1],
+                 "configs":[{{"id":"base"}}{extra_cfg}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn expansion_is_sorted_by_key_regardless_of_plan_order() {
+        let plan = parse_plan(
+            r#"{"schema":"apir.campaign.plan.v1",
+                "apps":["SPEC-SSSP","SPEC-BFS"],"seeds":[9,1],
+                "configs":[{"id":"z"},{"id":"a"}]}"#,
+        )
+        .unwrap();
+        let keys: Vec<String> = expand(&plan).iter().map(Job::key).collect();
+        assert_eq!(
+            keys,
+            [
+                "SPEC-BFS/a/1",
+                "SPEC-BFS/a/9",
+                "SPEC-BFS/z/1",
+                "SPEC-BFS/z/9",
+                "SPEC-SSSP/a/1",
+                "SPEC-SSSP/a/9",
+                "SPEC-SSSP/z/1",
+                "SPEC-SSSP/z/9",
+            ]
+        );
+    }
+
+    #[test]
+    fn ok_cells_verify_and_render_ok_records() {
+        let plan = tiny_plan("");
+        let mut lines = Vec::new();
+        let summary = run_campaign(&plan, 2, 4, |r| lines.push(r.render()));
+        assert_eq!(summary.jobs, 2);
+        assert_eq!(summary.failed, 0);
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let doc = apir_util::json::parse(line).unwrap();
+            assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+            let report = doc.get("report").unwrap();
+            assert_eq!(
+                report.get("schema").and_then(Json::as_str),
+                Some("apir.fabric.report.v2")
+            );
+        }
+    }
+
+    #[test]
+    fn failing_cell_becomes_a_structured_error_record() {
+        // max_cycles=32 is far below any real run: MaxCycles, recorded.
+        let plan = tiny_plan(r#",{"id":"boom","max_cycles":32}"#);
+        let mut records = Vec::new();
+        let summary = run_campaign(&plan, 2, 4, |r| records.push(r.clone()));
+        assert_eq!(summary.jobs, 4);
+        assert_eq!(summary.failed, 2);
+        let boom: Vec<&Json> = records
+            .iter()
+            .filter(|r| r.get("config").unwrap().as_str() == Some("boom"))
+            .collect();
+        assert_eq!(boom.len(), 2);
+        for r in boom {
+            assert_eq!(r.get("status").unwrap().as_str(), Some("error"));
+            let e = r.get("error").unwrap();
+            assert_eq!(e.get("kind").unwrap().as_str(), Some("max_cycles"));
+            assert_eq!(e.get("cycle").unwrap().as_u64(), Some(32));
+            assert!(e.get("message").unwrap().as_str().unwrap().contains("max cycles"));
+        }
+    }
+
+    #[test]
+    fn chaos_cells_inject_and_recover() {
+        let plan = tiny_plan(r#",{"id":"chaos","chaos":true}"#);
+        let jobs = expand(&plan);
+        let chaos_job = jobs
+            .iter()
+            .find(|j| j.config.chaos && j.seed == 1)
+            .unwrap();
+        let report = run_job(chaos_job).expect("chaos cell recovers");
+        assert!(report.faults.soft_injected + report.faults.link_dropped > 0);
+        // The same cell reruns byte-identically.
+        let again = run_job(chaos_job).unwrap();
+        assert_eq!(report.to_json(), again.to_json());
+    }
+
+    #[test]
+    fn summary_renders_stable_campaign_keys() {
+        let s = CampaignSummary {
+            jobs: 12,
+            failed: 3,
+            threads: 8,
+            steals: 5,
+            peak_inflight: 4,
+            wall_ms: 123.456,
+            jobs_per_sec: 97.2,
+        }
+        .render();
+        assert!(s.contains("campaign.jobs=12"), "{s}");
+        assert!(s.contains("campaign.failed=3"), "{s}");
+        assert!(s.contains("campaign.wall_ms=123.5"), "{s}");
+        assert!(s.contains("campaign.jobs_per_sec=97.2"), "{s}");
+    }
+
+    #[test]
+    fn results_doc_is_thread_count_invariant() {
+        let plan = tiny_plan(r#",{"id":"boom","max_cycles":32}"#);
+        let (a, _) = results_doc(&plan, 1, 2);
+        let (b, _) = results_doc(&plan, 4, 2);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.get("schema").unwrap().as_str(), Some(RESULTS_SCHEMA));
+        assert_eq!(a.get("jobs").unwrap().as_u64(), Some(4));
+        assert_eq!(a.get("failed").unwrap().as_u64(), Some(2));
+    }
+}

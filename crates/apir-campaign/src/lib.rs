@@ -1,0 +1,23 @@
+//! # apir-campaign — work-stealing sweep dispatcher
+//!
+//! Expands a campaign plan (`apir.campaign.plan.v1`: apps × seeds ×
+//! config variants, with optional chaos per variant) into jobs, runs
+//! them on a work-stealing thread fleet with a bounded in-flight
+//! window, and merges the per-cell results deterministically: records
+//! stream in `(app, config, seed)` order, so the JSONL output of an
+//! 8-thread run is byte-identical to a 1-thread run.
+//!
+//! - [`plan`] — the plan schema, parser, and validation diagnostics.
+//! - [`engine`] — expansion, per-job execution and failure capture,
+//!   the ordered dispatch loop, and the `campaign.*` summary.
+//!
+//! Driven from the CLI as `apir-trace campaign <plan.json>`.
+
+pub mod engine;
+pub mod plan;
+
+pub use engine::{
+    doc_from, expand, record, results_doc, run_campaign, run_job, CampaignSummary, Job,
+    JobError, DEFAULT_INFLIGHT, RESULTS_SCHEMA,
+};
+pub use plan::{parse_plan, CampaignPlan, ConfigVariant, Overrides, PlanError, PLAN_SCHEMA};

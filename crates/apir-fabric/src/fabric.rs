@@ -524,6 +524,28 @@ impl Fabric {
         if let Some(report) = self.lint_errors.take() {
             return Err(FabricError::RejectedByLint { report });
         }
+        self.run_loop()
+    }
+
+    /// One-shot job entry point: builds the fabric and runs it to
+    /// completion in a single call. This is the unit of work batch
+    /// drivers dispatch (`apir-campaign` runs thousands of these
+    /// concurrently, one per plan cell), kept here so the simulation
+    /// request surface is a single deterministic function of
+    /// `(spec, input, cfg)`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`Fabric::run`] contract.
+    pub fn execute(
+        spec: &Spec,
+        input: &ProgramInput,
+        cfg: FabricConfig,
+    ) -> Result<FabricReport, FabricError> {
+        Fabric::new(spec, input, cfg).run()
+    }
+
+    fn run_loop(mut self) -> Result<FabricReport, FabricError> {
         loop {
             let moved = self.tick();
             if let Some(lf) = self.mem.link_failure() {

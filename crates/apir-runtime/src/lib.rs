@@ -9,15 +9,20 @@
 //!   commit, emulating thread-level speculation;
 //! * [`pool`] — a small scoped thread-pool helper (`parallel_for`) the
 //!   hand-written multicore baselines are built on;
+//! * [`dispatch`] — a work-stealing job dispatcher with a bounded
+//!   reorder buffer and deterministic in-order result delivery, the
+//!   execution core of the `apir-campaign` batch-simulation engine;
 //! * [`vcore`] — a deterministic virtual-multicore replay model: the
 //!   evaluation container has a single core, so the paper's 10-core
 //!   Xeon baseline is estimated from instrumented round/work profiles
 //!   calibrated against the measured sequential run (see DESIGN.md and
 //!   EXPERIMENTS.md for the substitution argument).
 
+pub mod dispatch;
 pub mod par;
 pub mod pool;
 pub mod vcore;
 
+pub use dispatch::{run_ordered, DispatchStats};
 pub use par::{ParConfig, ParResult, ParRunner};
 pub use vcore::VcoreModel;

@@ -53,6 +53,24 @@ commands:
       static bound, and the predicted dominant stall cause equal to
       the measured fabric.stall.* top cause.
       exit 0: validated   exit 1: contract violation
+  campaign <PLAN.json> [--threads N] [--inflight N] [--out PATH]
+                       [--json PATH]
+  campaign --stdin [--threads N] [--inflight N]
+      Expand a campaign plan (apir.campaign.plan.v1: apps x seeds x
+      config variants, chaos per variant) and run every cell on a
+      work-stealing fleet. Records stream as JSON Lines in
+      (app, config, seed) order — the merged output is byte-identical
+      for any --threads. A failing cell becomes a structured error
+      record; the fleet never aborts.
+      --threads   worker threads (default: 1)
+      --inflight  cap on completed-but-unmerged results (default: 32)
+      --out       write the JSONL records to PATH instead of stdout
+      --json      also write the single apir.campaign.results.v1
+                  document to PATH (diffable with `apir-trace diff`)
+      --stdin     server mode: accept one plan JSON per input line,
+                  stream records to stdout and summaries to stderr;
+                  a malformed plan is diagnosed, not fatal
+      exit 0: all cells ok   exit 1: cell failures   exit 2: bad plan
   diff <A.json> <B.json> [--machine] [--tolerance-wall]
       Compare two report/baseline JSON documents key by key.
       --machine         stable pipe-separated output for scripts
@@ -310,6 +328,151 @@ fn cmd_validate_analysis(args: Vec<String>) {
     println!("validate-analysis OK: bounds sound, predictions match");
 }
 
+fn cmd_campaign(args: Vec<String>) {
+    let mut args = args.into_iter();
+    let mut plan_path: Option<String> = None;
+    let mut stdin_mode = false;
+    let mut threads: usize = 1;
+    let mut inflight: usize = apir_campaign::DEFAULT_INFLIGHT;
+    let mut out_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdin" => stdin_mode = true,
+            "--threads" => {
+                let v = next_value(&mut args, "--threads");
+                threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail(&format!("--threads wants a count >= 1, got `{v}`")));
+            }
+            "--inflight" => {
+                let v = next_value(&mut args, "--inflight");
+                inflight = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail(&format!("--inflight wants a cap >= 1, got `{v}`")));
+            }
+            "--out" => out_path = Some(next_value(&mut args, "--out")),
+            "--json" => json_path = Some(next_value(&mut args, "--json")),
+            other if other.starts_with('-') => fail(&format!("unknown flag `{other}`")),
+            path => {
+                if plan_path.is_some() {
+                    fail("campaign takes exactly one plan file");
+                }
+                plan_path = Some(path.to_string());
+            }
+        }
+    }
+    if stdin_mode {
+        if plan_path.is_some() || out_path.is_some() || json_path.is_some() {
+            fail("--stdin reads plans from stdin and writes records to stdout; it takes no plan file, --out, or --json");
+        }
+        campaign_server(threads, inflight);
+    }
+    let Some(path) = plan_path else {
+        fail("campaign needs a plan file (or --stdin)");
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("apir-trace: reading {path}: {e}");
+        std::process::exit(2);
+    });
+    let plan = apir_campaign::parse_plan(&text).unwrap_or_else(|e| {
+        eprintln!("apir-trace: {path}: {e}");
+        std::process::exit(2);
+    });
+
+    use std::io::Write;
+    let dest: Box<dyn Write + Send> = match &out_path {
+        Some(p) => Box::new(std::io::BufWriter::new(std::fs::File::create(p).unwrap_or_else(
+            |e| {
+                eprintln!("apir-trace: creating {p}: {e}");
+                std::process::exit(2);
+            },
+        ))),
+        None => Box::new(std::io::stdout()),
+    };
+    let mut writer = apir_util::JsonlWriter::new(dest);
+    let collect = json_path.is_some();
+    let mut records: Vec<apir_util::Json> = Vec::new();
+    let summary = apir_campaign::run_campaign(&plan, threads, inflight, |r| {
+        writer.write(r).unwrap_or_else(|e| {
+            eprintln!("apir-trace: writing records: {e}");
+            std::process::exit(1);
+        });
+        if collect {
+            records.push(r.clone());
+        }
+    });
+    if let Err(e) = writer.finish() {
+        eprintln!("apir-trace: flushing records: {e}");
+        std::process::exit(1);
+    }
+    if let Some(p) = json_path {
+        let doc = apir_campaign::doc_from(&plan, records, &summary);
+        let mut text = doc.render_pretty();
+        text.push('\n');
+        if let Err(e) = std::fs::write(&p, text) {
+            eprintln!("apir-trace: writing {p}: {e}");
+            std::process::exit(1);
+        }
+    }
+    // Keep the record stream clean: the human summary shares stdout
+    // only when the records went to a file.
+    if out_path.is_some() {
+        println!("{}", summary.render());
+    } else {
+        eprintln!("{}", summary.render());
+    }
+    std::process::exit(if summary.failed > 0 { 1 } else { 0 });
+}
+
+/// `campaign --stdin`: one plan JSON per input line; records to stdout,
+/// summaries and diagnostics to stderr. A malformed plan is reported
+/// and the server keeps accepting; the exit code remembers the worst
+/// thing that happened (2: bad plan seen, 1: cell failures, 0: clean).
+fn campaign_server(threads: usize, inflight: usize) -> ! {
+    use std::io::{BufRead, Write};
+    let mut any_bad_plan = false;
+    let mut any_failed = false;
+    for (i, line) in std::io::stdin().lock().lines().enumerate() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("apir-trace: reading stdin: {e}");
+            std::process::exit(1);
+        });
+        if line.trim().is_empty() {
+            continue;
+        }
+        match apir_campaign::parse_plan(&line) {
+            Err(e) => {
+                eprintln!("apir-trace: stdin plan {}: {e}", i + 1);
+                any_bad_plan = true;
+            }
+            Ok(plan) => {
+                let mut out = std::io::stdout();
+                let summary = apir_campaign::run_campaign(&plan, threads, inflight, |r| {
+                    writeln!(out, "{}", r.render()).unwrap_or_else(|e| {
+                        eprintln!("apir-trace: writing records: {e}");
+                        std::process::exit(1);
+                    });
+                });
+                let _ = out.flush();
+                eprintln!("{}", summary.render());
+                any_failed |= summary.failed > 0;
+            }
+        }
+    }
+    std::process::exit(if any_bad_plan {
+        2
+    } else if any_failed {
+        1
+    } else {
+        0
+    });
+}
+
 fn cmd_diff(args: Vec<String>) {
     let mut machine = false;
     let mut tolerate_wall = false;
@@ -370,6 +533,7 @@ fn main() {
         "timeline" => cmd_timeline(args),
         "analyze" => cmd_analyze(args),
         "validate-analysis" => cmd_validate_analysis(args),
+        "campaign" => cmd_campaign(args),
         "diff" => cmd_diff(args),
         "list" => {
             for name in APP_NAMES {

@@ -1,0 +1,127 @@
+//! JSON Lines: one compact [`Json`] document per `\n`-terminated line.
+//!
+//! The campaign engine streams one `apir.fabric.report.v2` record per
+//! finished job; JSONL keeps the stream append-only and diffable with
+//! plain byte comparison (`cmp`, `git diff`), which is what the
+//! campaign determinism gate relies on — an 8-thread run must produce
+//! the same bytes as a 1-thread run. Rendering goes through
+//! [`Json::render`], so every line is deterministic by construction.
+
+use crate::json::{parse, Json, ParseError};
+use std::io::{self, Write};
+
+/// Streams compact JSON documents to `inner`, one per line.
+pub struct JsonlWriter<W: Write> {
+    inner: W,
+    records: u64,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps a byte sink.
+    pub fn new(inner: W) -> Self {
+        JsonlWriter { inner, records: 0 }
+    }
+
+    /// Appends one record as a compact JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write(&mut self, record: &Json) -> io::Result<()> {
+        let mut line = record.render();
+        line.push('\n');
+        self.inner.write_all(line.as_bytes())?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// A JSONL parse failure, locating the offending line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonlError {
+    /// 1-based line number.
+    pub line: usize,
+    /// The underlying JSON parse error.
+    pub error: ParseError,
+}
+
+impl std::fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.error)
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
+/// Parses a JSONL document into its records. Blank lines are skipped
+/// (a trailing newline is the normal case, not an error).
+///
+/// # Errors
+///
+/// [`JsonlError`] naming the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Json>, JsonlError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse(line).map_err(|error| JsonlError { line: i + 1, error })?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_one_compact_line_per_record() {
+        let mut w = JsonlWriter::new(Vec::new());
+        w.write(&Json::obj([("a", Json::U64(1))])).unwrap();
+        w.write(&Json::obj([("b", Json::str("x\ny"))])).unwrap();
+        assert_eq!(w.records(), 2);
+        let bytes = w.finish().unwrap();
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            "{\"a\":1}\n{\"b\":\"x\\ny\"}\n"
+        );
+    }
+
+    #[test]
+    fn roundtrips_through_the_parser() {
+        let records = vec![
+            Json::obj([("k", Json::U64(7))]),
+            Json::arr([Json::Bool(true), Json::Null]),
+        ];
+        let mut w = JsonlWriter::new(Vec::new());
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        let text = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert_eq!(parse_jsonl(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_errors_are_located() {
+        assert_eq!(parse_jsonl("").unwrap(), Vec::<Json>::new());
+        assert_eq!(parse_jsonl("\n\n{\"a\":1}\n\n").unwrap().len(), 1);
+        let err = parse_jsonl("{\"ok\":true}\n{broken\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+}

@@ -16,7 +16,9 @@
 //!   for the two `apir-bench` benches);
 //! * [`json`] — a deterministic JSON value/writer/parser used by the
 //!   observability layer (`FabricReport::to_json`, `BENCH_fabric.json`,
-//!   Chrome traces) in place of `serde_json`.
+//!   Chrome traces) in place of `serde_json`;
+//! * [`jsonl`] — a JSON Lines writer/parser for streamed record output
+//!   (the campaign engine's merged `results.jsonl`).
 //!
 //! Everything here is deterministic: the same seed always yields the same
 //! sequence on every platform, which is what makes the experiment results
@@ -24,9 +26,11 @@
 
 pub mod bench;
 pub mod json;
+pub mod jsonl;
 pub mod prop;
 pub mod rng;
 
 pub use json::Json;
+pub use jsonl::JsonlWriter;
 pub use prop::Gen;
 pub use rng::SmallRng;

@@ -19,7 +19,8 @@ echo "==> apir-lint --analyze --strict (APIR6xx semantic analysis, no warnings a
 cargo run -q --release --offline -p apir-check --bin apir-lint -- --analyze --strict > /dev/null
 
 bench_base=$(mktemp) ; chaos_a=$(mktemp) ; chaos_b=$(mktemp) ; analysis_tmp=$(mktemp)
-trap 'rm -f "$bench_base" "$chaos_a" "$chaos_b" "$analysis_tmp"' EXIT
+camp_a=$(mktemp) ; camp_b=$(mktemp)
+trap 'rm -f "$bench_base" "$chaos_a" "$chaos_b" "$analysis_tmp" "$camp_a" "$camp_b"' EXIT
 
 echo "==> static-analysis baseline drift gate (apir.analysis.report.v1)"
 cargo run -q --release --offline -p apir-trace -- analyze --json "$analysis_tmp" > /dev/null
@@ -52,7 +53,7 @@ git checkout -q -- BENCH_fabric.json
 echo "==> scheduler differential gate (dense per-cycle loop vs event wheel)"
 cargo test -q --release --offline --test scheduler_equiv
 
-echo "==> chaos suite (pinned seeded fault campaigns, all six apps)"
+echo "==> chaos suite (campaign-driven fault matrix, all six apps)"
 cargo test -q --release --offline --test chaos
 
 echo "==> chaos determinism gate (same seed => byte-identical report)"
@@ -65,6 +66,19 @@ cargo run -q --release --offline -p apir-trace -- \
 if ! cargo run -q --release --offline -p apir-trace -- \
   diff --machine "$chaos_a" "$chaos_b"; then
   echo "ERROR: two chaos runs with the same seed produced different reports (keys above)." >&2
+  exit 1
+fi
+
+echo "==> campaign smoke gate (12-cell plan, 8 threads vs 1 thread, byte-identical merge)"
+cargo run -q --release --offline -p apir-trace -- \
+  campaign tests/plans/smoke12.json --threads 8 --json "$camp_a" > /dev/null 2>&1
+cargo run -q --release --offline -p apir-trace -- \
+  campaign tests/plans/smoke12.json --threads 1 --json "$camp_b" > /dev/null 2>&1
+# The results document has no wall-clock keys, so the two runs must
+# agree on every key — the work-stealing schedule must be invisible.
+if ! cargo run -q --release --offline -p apir-trace -- \
+  diff --machine "$camp_a" "$camp_b"; then
+  echo "ERROR: an 8-thread campaign diverged from the 1-thread merge (keys above)." >&2
   exit 1
 fi
 

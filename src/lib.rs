@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the APIR framework.
 pub use apir_apps as apps;
 pub use apir_bench as bench;
+pub use apir_campaign as campaign;
 pub use apir_check as check;
 pub use apir_core as core;
 pub use apir_fabric as fabric;

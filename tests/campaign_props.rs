@@ -1,0 +1,123 @@
+//! Property tests for the campaign dispatcher
+//! (`apir_runtime::dispatch::run_ordered`), the machinery under the
+//! byte-determinism contract: for any plan shape, thread count,
+//! in-flight cap, and pattern of panicking jobs,
+//!
+//! - every job executes exactly once,
+//! - every job's result is delivered exactly once, in index order,
+//! - the completed-but-undelivered window never exceeds the cap, and
+//! - a panicking job becomes an `Err` delivery, never a lost slot or a
+//!   dead fleet.
+
+use apir::runtime::dispatch::run_ordered;
+use apir_util::props;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Once;
+
+/// Injected panics are expected; keep them off the test's stderr while
+/// leaving real failures loud.
+fn quiet_injected_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("prop-boom") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+props! {
+    cases = 48;
+
+    /// Exactly-once execution and in-order delivery under random plan
+    /// shapes, thread counts, caps, and injected panics.
+    fn dispatcher_is_exactly_once_in_order_and_bounded(g) {
+        quiet_injected_panics();
+        let n = g.gen_range(0usize..48);
+        let threads = g.gen_range(1usize..9);
+        let cap = g.gen_range(1usize..7);
+        let booms: Vec<bool> = (0..n).map(|_| g.gen_bool(0.2)).collect();
+
+        let runs: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let mut delivered: Vec<(usize, Result<u64, String>)> = Vec::new();
+        let stats = run_ordered(
+            n,
+            threads,
+            cap,
+            |i| {
+                runs[i].fetch_add(1, Ordering::SeqCst);
+                if booms[i] {
+                    panic!("prop-boom {i}");
+                }
+                i as u64 * 3
+            },
+            |i, r| delivered.push((i, r)),
+        );
+
+        // Exactly-once execution…
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.load(Ordering::SeqCst), 1, "job {i} ran a wrong number of times");
+        }
+        // …exactly-once, in-order delivery…
+        assert_eq!(delivered.len(), n);
+        for (slot, (i, r)) in delivered.iter().enumerate() {
+            assert_eq!(*i, slot, "delivery out of order");
+            match r {
+                Ok(v) => {
+                    assert!(!booms[slot], "job {slot} panicked but delivered Ok");
+                    assert_eq!(*v, slot as u64 * 3);
+                }
+                Err(msg) => {
+                    assert!(booms[slot], "job {slot} delivered Err without panicking");
+                    assert!(msg.contains("prop-boom"), "panic message lost: {msg}");
+                }
+            }
+        }
+        // …panics fully accounted…
+        let expected_panics = booms.iter().filter(|&&b| b).count();
+        assert_eq!(stats.panics, expected_panics);
+        assert_eq!(stats.jobs, n);
+        // …and the in-flight window bounded by the cap.
+        assert!(
+            stats.peak_inflight <= cap.max(1),
+            "peak in-flight {} exceeds cap {}",
+            stats.peak_inflight,
+            cap
+        );
+    }
+
+    /// The merged delivery is a pure function of the job results: any
+    /// two (threads, cap) choices produce identical streams.
+    fn dispatcher_delivery_is_schedule_invariant(g) {
+        quiet_injected_panics();
+        let n = g.gen_range(1usize..40);
+        let booms: Vec<bool> = (0..n).map(|_| g.gen_bool(0.15)).collect();
+        let run = |threads: usize, cap: usize| {
+            let mut out: Vec<String> = Vec::new();
+            run_ordered(
+                n,
+                threads,
+                cap,
+                |i| {
+                    if booms[i] {
+                        panic!("prop-boom {i}");
+                    }
+                    format!("r{i}")
+                },
+                |i, r| out.push(format!("{i}:{r:?}")),
+            );
+            out
+        };
+        let a = run(g.gen_range(1usize..9), g.gen_range(1usize..5));
+        let b = run(g.gen_range(1usize..9), g.gen_range(1usize..5));
+        assert_eq!(a, b, "delivery depends on the schedule");
+    }
+}

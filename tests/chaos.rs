@@ -1,26 +1,32 @@
-//! The headline chaos suite: every builtin benchmark, run under the
-//! seeded chaos fault-injection preset, must
+//! The headline chaos suite, driven by the committed campaign plan
+//! `tests/plans/chaos_matrix.json`: every builtin benchmark × every
+//! plan seed × every chaos config variant (the event-wheel baseline
+//! and the dense-tick scheduler) must
 //!
-//! 1. actually suffer a nonzero fault mix (soft errors on fills,
-//!    dropped/late QPI responses, masked rule lanes / queue banks —
-//!    whichever of those the app's structure exposes),
-//! 2. recover to a final memory image equivalent to the fault-free
+//! 1. recover to a final memory image equivalent to the fault-free
 //!    sequential interpreter run (same equality tiers as
 //!    `cross_engine.rs`: exact, union-find partition for SPEC-MST,
 //!    checker-only for SPEC-DMR), and
-//! 3. be byte-identical across reruns — the fault schedule is part of
-//!    the deterministic simulation, not noise on top of it.
+//! 2. provably suffer faults: aggregated across the plan's seeds, each
+//!    (app, config) pair injects soft errors, link faults, and the
+//!    structural (lane/bank) faults its shape exposes. Aggregation is
+//!    what lets the plan use arbitrary seed ranges — a single seed may
+//!    legitimately miss a fault class on a tiny footprint (MST's QPI
+//!    traffic is sparse enough that some seeds inject no soft errors),
+//!    but five seeds together never do.
 //!
-//! Seeds are pinned (three campaigns per app) and were chosen by probing
-//! (`probe_fault_mix` below, `--ignored`): each pinned seed provably
-//! injects every fault class its app can express.
+//! Determinism of each cell (same seed ⇒ byte-identical report) is held
+//! by `campaign_determinism.rs` and the engine's own tests; this suite
+//! holds recovery.
 
 use apir::bench::experiments::{scale_cache, synthesized_cfg};
 use apir::bench::scale::{build_app, APP_NAMES};
 use apir::bench::Scale;
+use apir::campaign::{expand, parse_plan, run_job};
 use apir::core::interp::SeqInterp;
 use apir::core::MemAccess;
 use apir::fabric::{Fabric, FabricConfig, FabricReport, FaultConfig};
+use std::collections::HashMap;
 
 /// The synthesized + tuned configuration with chaos faults armed.
 fn chaos_cfg(name: &str, app: &apir::apps::AppInstance, seed: u64) -> FabricConfig {
@@ -51,18 +57,6 @@ fn same_partition(a: &apir::core::MemImage, b: &apir::core::MemImage, n: u64) {
     }
 }
 
-/// Pinned chaos campaigns: three seeds per app (probed; see module doc).
-const CAMPAIGNS: [(&str, [u64; 3]); 6] = [
-    ("SPEC-BFS", [1, 2, 3]),
-    ("COOR-BFS", [1, 2, 3]),
-    ("SPEC-SSSP", [1, 2, 3]),
-    // Seed 3 injects no soft errors into MST's tiny QPI footprint —
-    // probed and replaced with seed 4.
-    ("SPEC-MST", [1, 2, 4]),
-    ("SPEC-DMR", [1, 2, 3]),
-    ("COOR-LU", [1, 2, 3]),
-];
-
 fn run_chaos(name: &str, app: &apir::apps::AppInstance, cfg: FabricConfig) -> FabricReport {
     Fabric::new(&app.spec, &app.input, cfg)
         .run()
@@ -70,66 +64,92 @@ fn run_chaos(name: &str, app: &apir::apps::AppInstance, cfg: FabricConfig) -> Fa
 }
 
 #[test]
-fn chaos_campaigns_recover_to_fault_free_memory() {
-    for (name, seeds) in CAMPAIGNS {
-        let app = build_app(name, Scale::Tiny);
+fn chaos_matrix_recovers_to_fault_free_memory() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/plans/chaos_matrix.json"
+    ))
+    .expect("committed chaos plan");
+    let plan = parse_plan(&text).expect("valid chaos plan");
+    // The committed plan is the full matrix: every builtin, at least
+    // five seeds, two all-chaos configs.
+    assert_eq!(plan.apps.len(), APP_NAMES.len(), "plan must cover every builtin");
+    assert!(plan.seeds.len() >= 5, "plan must sweep at least five seeds");
+    assert_eq!(plan.configs.len(), 2);
+    assert!(plan.configs.iter().all(|c| c.chaos), "every cell is a chaos cell");
+
+    // Fault-free reference image per app, computed once.
+    let mut reference = HashMap::new();
+    for name in &plan.apps {
+        let app = build_app(name, plan.scale);
         let seq = SeqInterp::run(&app.spec, &app.input).unwrap();
         (app.check)(&seq.mem).unwrap_or_else(|e| panic!("{name} interp: {e}"));
-        for seed in seeds {
-            let cfg = chaos_cfg(name, &app, seed);
-            let report = run_chaos(name, &app, cfg.clone());
+        reference.insert(name.clone(), (app, seq));
+    }
 
-            // (1) The campaign provably injected faults. Memory-side
-            // faults hit every app that touches the cache/QPI path;
-            // structural (lane/bank) faults hit whatever the app's config
-            // leaves maskable: COOR-LU has no rule engines (banks only),
-            // and SPEC-MST's tuned 2-bank queue is reserve-protected by
-            // design — masking it could deadlock recirculation, so the
-            // plan refuses and only its rule lanes are masked.
-            let f = &report.faults;
-            assert!(f.soft_injected > 0, "{name} seed {seed}: no soft errors");
-            assert!(
-                f.link_dropped + f.link_late > 0,
-                "{name} seed {seed}: no link faults"
-            );
-            assert!(
-                f.lanes_masked + f.banks_masked > 0,
-                "{name} seed {seed}: no structural faults"
-            );
-            assert!(
-                f.soft_corrected + f.soft_refetched == f.soft_injected,
-                "{name} seed {seed}: soft errors must be corrected or refetched"
-            );
+    #[derive(Default)]
+    struct Mix {
+        soft: u64,
+        link: u64,
+        structural: u64,
+    }
+    let mut mix: HashMap<(String, String), Mix> = HashMap::new();
 
-            // (2) Recovery: the faulty run's final image is equivalent to
-            // the fault-free interpreter run.
-            (app.check)(&report.mem_image)
-                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
-            match name {
-                "SPEC-MST" => {
-                    let n = app.input.mem.capacity(apir::core::spec::RegionId(0));
-                    same_partition(&seq.mem, &report.mem_image, n as u64);
-                }
-                "SPEC-DMR" => {} // checker-only (commit-order-dependent mesh)
-                _ => {
-                    assert_eq!(
-                        seq.mem,
-                        report.mem_image,
-                        "{name} seed {seed}: final images differ: {:?}",
-                        seq.mem.diff(&report.mem_image, 8)
-                    );
-                }
+    for job in expand(&plan) {
+        let key = job.key();
+        // `run_job` already re-verifies the cell against the app checker.
+        let report =
+            run_job(&job).unwrap_or_else(|e| panic!("{key}: [{}] {}", e.kind, e.message));
+
+        let f = &report.faults;
+        assert_eq!(
+            f.soft_corrected + f.soft_refetched,
+            f.soft_injected,
+            "{key}: soft errors must be corrected or refetched"
+        );
+        let m = mix
+            .entry((job.app.clone(), job.config.id.clone()))
+            .or_default();
+        m.soft += f.soft_injected;
+        m.link += f.link_dropped + f.link_late;
+        m.structural += f.lanes_masked + f.banks_masked;
+
+        // Recovery: the faulty run's final image is equivalent to the
+        // fault-free interpreter run.
+        let (app, seq) = &reference[&job.app];
+        match job.app.as_str() {
+            "SPEC-MST" => {
+                let n = app.input.mem.capacity(apir::core::spec::RegionId(0));
+                same_partition(&seq.mem, &report.mem_image, n as u64);
             }
-
-            // (3) Determinism: the same seed reproduces the run byte for
-            // byte, fault schedule included.
-            let again = run_chaos(name, &app, cfg);
-            assert_eq!(
-                report.to_json(),
-                again.to_json(),
-                "{name} seed {seed}: chaos rerun diverged"
-            );
+            "SPEC-DMR" => {} // checker-only (commit-order-dependent mesh)
+            _ => {
+                assert_eq!(
+                    seq.mem,
+                    report.mem_image,
+                    "{key}: final images differ: {:?}",
+                    seq.mem.diff(&report.mem_image, 8)
+                );
+            }
         }
+    }
+
+    // Aggregated over the plan's seeds, every (app, config) pair
+    // suffered every fault family. Memory-side faults hit every app
+    // that touches the cache/QPI path; structural (lane/bank) faults
+    // hit whatever the app's config leaves maskable: COOR-LU has no
+    // rule engines (banks only), and SPEC-MST's tuned 2-bank queue is
+    // reserve-protected by design — masking it could deadlock
+    // recirculation, so the plan refuses and only its rule lanes are
+    // masked.
+    assert_eq!(mix.len(), plan.apps.len() * plan.configs.len());
+    for ((app, config), m) in &mix {
+        assert!(m.soft > 0, "{app}/{config}: no soft errors across seeds");
+        assert!(m.link > 0, "{app}/{config}: no link faults across seeds");
+        assert!(
+            m.structural > 0,
+            "{app}/{config}: no structural faults across seeds"
+        );
     }
 }
 
@@ -184,8 +204,8 @@ fn faults_off_is_the_identity() {
     assert_eq!(report.faults, apir::fabric::FaultStats::default());
 }
 
-/// Probe harness used to pin the campaign seeds: prints the fault mix per
-/// app per candidate seed. Run with
+/// Probe harness used to vet campaign-plan seeds: prints the fault mix
+/// per app per candidate seed. Run with
 /// `cargo test --test chaos probe_fault_mix -- --ignored --nocapture`.
 #[test]
 #[ignore]
