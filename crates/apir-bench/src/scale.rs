@@ -7,7 +7,8 @@
 //! simulated cycles. All generators are seeded, so every run of a scale
 //! is identical.
 
-use apir_apps::{bfs, dmr, lu, mst, sssp, AppInstance};
+use apir_apps::{bfs, dmr, lu, mst, sssp};
+pub use apir_apps::AppInstance;
 use apir_workloads::delaunay::Mesh;
 use apir_workloads::gen;
 use apir_workloads::sparse::BlockPattern;

@@ -76,19 +76,18 @@ pub struct JobError {
     pub cycle: Option<u64>,
     /// Human-readable detail.
     pub message: String,
+    /// The rendered partial `apir.fabric.report.v2` document — with its
+    /// `terminated: {kind, cycle}` stamp — when the fabric got far
+    /// enough to have one ([`FabricError::partial_report_json`]).
+    pub partial_report: Option<String>,
 }
 
 impl JobError {
     fn from_fabric(e: FabricError) -> Self {
-        let (kind, cycle) = match &e {
-            FabricError::Deadlock { cycle, .. } => ("deadlock", Some(*cycle)),
-            FabricError::MaxCycles { cycle, .. } => ("max_cycles", Some(*cycle)),
-            FabricError::LinkFailed { cycle, .. } => ("link_failed", Some(*cycle)),
-            FabricError::RejectedByLint { .. } => ("rejected_by_lint", None),
-        };
         JobError {
-            kind,
-            cycle,
+            kind: e.kind(),
+            cycle: e.failure_cycle(),
+            partial_report: e.partial_report_json().map(|doc| doc.render()),
             message: e.to_string(),
         }
     }
@@ -109,6 +108,19 @@ pub fn job_cfg(job: &Job, input: &apir_core::ProgramInput, tune: &dyn Fn(&mut Fa
     cfg
 }
 
+/// The multiplier behind the deterministic retry salt bump
+/// (the 64-bit golden-ratio constant, so successive attempts land in
+/// unrelated fault-RNG streams).
+pub const RETRY_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The fault seed attempt `attempt` of a cell runs under. Attempt 0 is
+/// the cell's own seed (the merge key is unchanged by retries); each
+/// later attempt bumps the salt deterministically, so a retried
+/// campaign is still byte-reproducible.
+pub fn retry_seed(seed: u64, attempt: u32) -> u64 {
+    seed ^ u64::from(attempt).wrapping_mul(RETRY_SALT)
+}
+
 /// Runs one cell to completion: build, simulate, verify.
 ///
 /// # Errors
@@ -117,16 +129,64 @@ pub fn job_cfg(job: &Job, input: &apir_core::ProgramInput, tune: &dyn Fn(&mut Fa
 /// Panics inside the fabric are *not* caught here — the dispatcher
 /// captures them and the campaign records them as `kind: "panic"`.
 pub fn run_job(job: &Job) -> Result<FabricReport, JobError> {
+    run_job_attempt(job, 0)
+}
+
+/// [`run_job`] for one retry attempt: attempt 0 is the plain cell; a
+/// later attempt re-arms the chaos preset with the bumped salt
+/// ([`retry_seed`]) so the replay isn't doomed to repeat the failure.
+pub fn run_job_attempt(job: &Job, attempt: u32) -> Result<FabricReport, JobError> {
     let app = build_app(&job.app, job.scale);
-    let cfg = job_cfg(job, &app.input, &app.tune);
+    let mut cfg = job_cfg(job, &app.input, &app.tune);
+    if attempt > 0 && job.config.chaos {
+        cfg.faults = FaultConfig::chaos(retry_seed(job.seed, attempt));
+    }
     let report =
         Fabric::execute(&app.spec, &app.input, cfg).map_err(JobError::from_fabric)?;
     (app.check)(&report.mem_image).map_err(|message| JobError {
         kind: "check",
         cycle: Some(report.cycles),
         message,
+        partial_report: None,
     })?;
     Ok(report)
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs one cell under its config's retry policy: up to
+/// `1 + config.retries` attempts, each with the deterministically
+/// bumped fault salt, recording an error (the *last* attempt's) only
+/// once every attempt has failed. Panics are caught per attempt, so a
+/// crashing cell is retried exactly like a failing one.
+pub fn run_job_retrying(job: &Job) -> Result<FabricReport, JobError> {
+    let mut last: Option<JobError> = None;
+    for attempt in 0..=job.config.retries {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job_attempt(job, attempt)
+        }));
+        match caught {
+            Ok(Ok(report)) => return Ok(report),
+            Ok(Err(e)) => last = Some(e),
+            Err(payload) => {
+                last = Some(JobError {
+                    kind: "panic",
+                    cycle: None,
+                    message: panic_text(payload),
+                    partial_report: None,
+                })
+            }
+        }
+    }
+    Err(last.expect("at least one attempt always runs"))
 }
 
 /// Renders one result record (one JSONL line). Key fields lead so the
@@ -154,6 +214,14 @@ pub fn record(job: &Job, outcome: &Result<FabricReport, JobError>) -> Json {
                     ("message", Some(Json::str(e.message.as_str()))),
                 ]),
             ));
+            // The partial report (with its `terminated` stamp) rides
+            // along when the fabric got far enough to produce one, so a
+            // failed cell is diagnosable from the record alone.
+            if let Some(text) = &e.partial_report {
+                let doc = apir_util::json::parse(text)
+                    .expect("partial reports render valid JSON");
+                members.push(("report".to_string(), doc));
+            }
         }
     }
     Json::Obj(members)
@@ -221,16 +289,18 @@ where
         jobs.len(),
         threads,
         inflight.max(1),
-        |i| run_job(&jobs[i]),
+        |i| run_job_retrying(&jobs[i]),
         |i, result| {
             // A worker panic is flattened into the same structured error
-            // shape as a clean fabric failure.
+            // shape as a clean fabric failure. (`run_job_retrying`
+            // already catches per-attempt panics; this is the backstop.)
             let outcome = match result {
                 Ok(r) => r,
                 Err(message) => Err(JobError {
                     kind: "panic",
                     cycle: None,
                     message,
+                    partial_report: None,
                 }),
             };
             if outcome.is_err() {
@@ -368,6 +438,74 @@ mod tests {
         // The same cell reruns byte-identically.
         let again = run_job(chaos_job).unwrap();
         assert_eq!(report.to_json(), again.to_json());
+    }
+
+    #[test]
+    fn retry_seed_is_identity_at_attempt_zero_and_distinct_after() {
+        assert_eq!(retry_seed(42, 0), 42);
+        let bumped: Vec<u64> = (1..4).map(|k| retry_seed(42, k)).collect();
+        assert!(bumped.iter().all(|&s| s != 42));
+        assert_ne!(bumped[0], bumped[1]);
+        assert_ne!(bumped[1], bumped[2]);
+    }
+
+    #[test]
+    fn retries_exhaust_deterministically_on_a_doomed_cell() {
+        // max_cycles failures do not depend on the fault salt, so every
+        // attempt fails the same way and the final record matches the
+        // no-retry record exactly — retries never change a cell's key
+        // or its deterministic outcome, only how hard it tries.
+        let plan = tiny_plan(r#",{"id":"boom","max_cycles":32,"retries":2}"#);
+        let job = expand(&plan)
+            .into_iter()
+            .find(|j| j.config.id == "boom")
+            .unwrap();
+        let e1 = run_job_retrying(&job).unwrap_err();
+        let e2 = run_job_retrying(&job).unwrap_err();
+        assert_eq!(e1, e2);
+        assert_eq!(e1.kind, "max_cycles");
+        assert_eq!(e1.cycle, Some(32));
+    }
+
+    #[test]
+    fn panicking_cell_is_caught_and_classified_by_the_retry_loop() {
+        // An unknown app makes `build_app` panic on every attempt; the
+        // retry loop must absorb each unwind and record `panic`.
+        let job = Job {
+            app: "NO-SUCH-APP".to_string(),
+            config: ConfigVariant {
+                id: "x".to_string(),
+                retries: 1,
+                ..ConfigVariant::default()
+            },
+            seed: 1,
+            scale: apir_bench::Scale::Tiny,
+        };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let e = run_job_retrying(&job).unwrap_err();
+        std::panic::set_hook(prev);
+        assert_eq!(e.kind, "panic");
+        assert!(e.message.contains("NO-SUCH-APP"), "{}", e.message);
+    }
+
+    #[test]
+    fn error_records_carry_the_stamped_partial_report() {
+        let plan = tiny_plan(r#",{"id":"boom","max_cycles":32}"#);
+        let job = expand(&plan)
+            .into_iter()
+            .find(|j| j.config.id == "boom")
+            .unwrap();
+        let outcome = run_job(&job);
+        let r = record(&job, &outcome);
+        let report = r.get("report").expect("error record embeds the partial report");
+        assert_eq!(
+            report.get("schema").and_then(Json::as_str),
+            Some("apir.fabric.report.v2")
+        );
+        let t = report.get("terminated").expect("terminated stamp");
+        assert_eq!(t.get("kind").unwrap().as_str(), Some("max_cycles"));
+        assert_eq!(t.get("cycle").unwrap().as_u64(), Some(32));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   "seeds": [1, 2, 3],
 //!   "configs": [
 //!     {"id": "base"},
-//!     {"id": "chaos", "chaos": true},
+//!     {"id": "chaos", "chaos": true, "retries": 2},
 //!     {"id": "lowbw", "qpi_gbps": 3.5, "lsu_window": 8}
 //!   ]
 //! }
@@ -24,6 +24,9 @@
 //! applies its [`Overrides`]; `"chaos": true` additionally arms the
 //! seeded fault-injection preset ([`apir_fabric::FaultConfig::chaos`])
 //! with the cell's seed, so fault campaigns are just plan cells.
+//! `"retries": N` re-runs a panicking or failing cell up to `N` extra
+//! times — each retry with a deterministically bumped fault salt — and
+//! records an error only once every attempt has failed.
 //!
 //! Parsing is strict: unknown apps, unknown keys, a wrong schema
 //! string, empty/duplicate apps, seeds, or config ids are all hard
@@ -67,6 +70,12 @@ pub struct ConfigVariant {
     pub id: String,
     /// Arm the seeded chaos fault-injection preset for this variant.
     pub chaos: bool,
+    /// Extra attempts for a failing or panicking cell; each retry uses
+    /// a deterministically bumped fault salt
+    /// ([`crate::engine::retry_seed`]), and an error is recorded only
+    /// after every attempt fails. `0` (the default) records the first
+    /// failure immediately.
+    pub retries: u32,
     /// Knob overrides applied on top of the synthesized baseline.
     pub overrides: Overrides,
 }
@@ -319,6 +328,12 @@ fn parse_config(v: &Json) -> Result<ConfigVariant, PlanError> {
                     .as_bool()
                     .ok_or_else(|| PlanError::new(format!("{} must be a bool", what("chaos"))))?;
             }
+            "retries" => {
+                let n = want_u64(value, &what("retries"))?;
+                variant.retries = u32::try_from(n).map_err(|_| {
+                    PlanError::new(format!("{} is absurdly large ({n})", what("retries")))
+                })?;
+            }
             "pipelines_per_set" => {
                 variant.overrides.pipelines_per_set =
                     Some(want_usize(value, &what("pipelines_per_set"))?);
@@ -403,6 +418,28 @@ mod tests {
         assert!(plan.configs[1].chaos);
         assert_eq!(plan.configs[2].overrides.qpi_gbps, Some(3.5));
         assert_eq!(plan.configs[2].overrides.lsu_window, Some(8));
+    }
+
+    #[test]
+    fn parses_and_validates_retries() {
+        let plan = parse_plan(
+            r#"{"schema":"apir.campaign.plan.v1","apps":["SPEC-BFS"],
+                "seeds":[1],"configs":[{"id":"r","chaos":true,"retries":3}]}"#,
+        )
+        .unwrap();
+        assert_eq!(plan.configs[0].retries, 3);
+        let plan = parse_plan(
+            r#"{"schema":"apir.campaign.plan.v1","apps":["SPEC-BFS"],
+                "seeds":[1],"configs":[{"id":"r"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(plan.configs[0].retries, 0, "retries defaults to zero");
+        let e = parse_plan(
+            r#"{"schema":"apir.campaign.plan.v1","apps":["SPEC-BFS"],
+                "seeds":[1],"configs":[{"id":"r","retries":-1}]}"#,
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("`retries`"), "{e}");
     }
 
     #[test]

@@ -198,6 +198,17 @@ pub enum Lint {
     /// no reserve coverage: neither steering, nor the watchdog, nor
     /// buffering can break it. The config-aware escalation of `APIR205`.
     CycleUnsound,
+    /// `APIR505` — `max_rollbacks > 0` with `checkpoint_interval == 0`:
+    /// rollback recovery is armed but no checkpoint will ever exist to
+    /// restore from, so a terminal link failure still aborts the run.
+    RollbackWithoutCheckpoint,
+    /// `APIR506` — `checkpoint_interval >= max_cycles`: only the initial
+    /// cycle-0 checkpoint can ever be taken, so every rollback replays
+    /// the entire run from the beginning.
+    CheckpointNeverFires,
+    /// `APIR507` — `max_rollbacks > 0` with fault injection disabled:
+    /// harmless, but the rollback machinery can never trigger.
+    RollbackWithoutFaults,
 }
 
 impl Lint {
@@ -233,6 +244,9 @@ impl Lint {
             Lint::WatchdogMisordered => "APIR502",
             Lint::FaultRateOutOfRange => "APIR503",
             Lint::DegenerateFaultPlan => "APIR504",
+            Lint::RollbackWithoutCheckpoint => "APIR505",
+            Lint::CheckpointNeverFires => "APIR506",
+            Lint::RollbackWithoutFaults => "APIR507",
             Lint::ReserveOverflow => "APIR601",
             Lint::CapacityInfeasible => "APIR602",
             Lint::OccupancyOverCapacity => "APIR603",
@@ -268,6 +282,7 @@ impl Lint {
             | Lint::FaultRateOutOfRange
             | Lint::DegenerateFaultPlan
             | Lint::CapacityInfeasible
+            | Lint::RollbackWithoutCheckpoint
             | Lint::CycleUnsound => Severity::Error,
             Lint::UnguardedRequeue
             | Lint::CountdownWithoutInit
@@ -278,12 +293,14 @@ impl Lint {
             | Lint::UnusedExtern
             | Lint::LoadStoreRace
             | Lint::OccupancyOverCapacity
+            | Lint::CheckpointNeverFires
             | Lint::CycleUncertified => Severity::Warn,
             Lint::WaitingRuleNoClauses
             | Lint::ArbitratedRace
             | Lint::ReserveOverflow
             | Lint::OccupancyWidened
             | Lint::CycleBufferedSafe
+            | Lint::RollbackWithoutFaults
             | Lint::CycleWatchdogRescuable => Severity::Info,
         }
     }
@@ -320,6 +337,9 @@ impl Lint {
             Lint::WatchdogMisordered => "rendezvous timeout not below the deadlock window",
             Lint::FaultRateOutOfRange => "fault injection rate outside [0, 1]",
             Lint::DegenerateFaultPlan => "fault injection enabled with a degenerate plan",
+            Lint::RollbackWithoutCheckpoint => "rollbacks armed with no checkpoint interval",
+            Lint::CheckpointNeverFires => "checkpoint interval at or above max_cycles",
+            Lint::RollbackWithoutFaults => "rollbacks armed with fault injection disabled",
             Lint::ReserveOverflow => "recirculation reserve demand exceeds the capacity clamp",
             Lint::CapacityInfeasible => "reserve cannot hold one in-flight token per pipeline",
             Lint::OccupancyOverCapacity => "static activation demand exceeds ordinary-push headroom",
@@ -363,6 +383,9 @@ impl Lint {
             Lint::WatchdogMisordered,
             Lint::FaultRateOutOfRange,
             Lint::DegenerateFaultPlan,
+            Lint::RollbackWithoutCheckpoint,
+            Lint::CheckpointNeverFires,
+            Lint::RollbackWithoutFaults,
             Lint::ReserveOverflow,
             Lint::CapacityInfeasible,
             Lint::OccupancyOverCapacity,

@@ -308,6 +308,24 @@ impl FabricReport {
             ),
             ("mem", Some(mem_json(&self.mem))),
             ("faults", Some(faults_json(&self.faults))),
+            (
+                "rollbacks",
+                self.rollbacks.as_ref().map(|rb| {
+                    Json::obj([
+                        ("count", Json::U64(rb.count)),
+                        ("replayed_cycles", Json::U64(rb.replayed_cycles)),
+                        (
+                            "events",
+                            Json::arr(rb.events.iter().map(|&(fail, resume)| {
+                                Json::obj([
+                                    ("fail_cycle", Json::U64(fail)),
+                                    ("resume_cycle", Json::U64(resume)),
+                                ])
+                            })),
+                        ),
+                    ])
+                }),
+            ),
             ("rules", Some(Json::arr(self.rules.iter().map(rule_json)))),
             ("metrics", Some(metrics_json(&self.metrics))),
             ("activity", Some(activity_json(&self.activity))),
@@ -320,6 +338,31 @@ impl FabricReport {
     /// same spec/input/config produce byte-identical strings.
     pub fn to_json(&self) -> String {
         self.to_json_value().render()
+    }
+}
+
+impl crate::fabric::FabricError {
+    /// The partial report at the failure point as JSON, stamped with a
+    /// `terminated: {kind, cycle}` member so campaign error records and
+    /// post-mortem snapshots agree on where — and why — the run died.
+    /// `None` for [`RejectedByLint`](crate::fabric::FabricError::RejectedByLint),
+    /// which fails before the first cycle.
+    pub fn partial_report_json(&self) -> Option<Json> {
+        let report = self.partial_report()?;
+        let Json::Obj(mut members) = report.to_json_value() else {
+            unreachable!("reports render as objects");
+        };
+        members.push((
+            "terminated".to_string(),
+            Json::obj([
+                ("kind", Json::str(self.kind())),
+                (
+                    "cycle",
+                    Json::U64(self.failure_cycle().expect("report implies a cycle")),
+                ),
+            ]),
+        ));
+        Some(Json::Obj(members))
     }
 }
 
@@ -349,7 +392,33 @@ mod tests {
             faults: FaultStats::default(),
             trace: None,
             timeline: None,
+            rollbacks: None,
         }
+    }
+
+    #[test]
+    fn rollbacks_block_is_omitted_when_unarmed() {
+        let json = tiny_report().to_json();
+        let parsed = apir_util::json::parse(&json).expect("valid JSON");
+        assert!(parsed.get("rollbacks").is_none(), "no rollbacks member");
+    }
+
+    #[test]
+    fn rollbacks_block_renders_events() {
+        let mut r = tiny_report();
+        r.rollbacks = Some(crate::fabric::RollbackSummary {
+            count: 2,
+            replayed_cycles: 70,
+            events: vec![(40, 0), (90, 60)],
+        });
+        let parsed = apir_util::json::parse(&r.to_json()).expect("valid JSON");
+        let rb = parsed.get("rollbacks").expect("rollbacks present");
+        assert_eq!(rb.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(rb.get("replayed_cycles").unwrap().as_u64(), Some(70));
+        let events = rb.get("events").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].get("fail_cycle").unwrap().as_u64(), Some(90));
+        assert_eq!(events[1].get("resume_cycle").unwrap().as_u64(), Some(60));
     }
 
     #[test]

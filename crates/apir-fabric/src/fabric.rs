@@ -15,6 +15,7 @@ use crate::fault::{FaultMetrics, FaultPlan, FaultStats};
 use crate::memory::{MemMetrics, MemStats, MemorySubsystem};
 use crate::queue::{QueueMetrics, TaskQueue};
 use crate::rules::{ClaimOutcome, RuleEngine, RuleEngineStats, RuleMetrics};
+use crate::snapshot::{self, SNAPSHOT_SCHEMA};
 use crate::types::{to_fields, Ctx, EventMsg, MemReq, TaskToken, WriteKind};
 use crate::FabricConfig;
 use apir_core::op::{BodyOp, StoreKind};
@@ -22,11 +23,15 @@ use apir_core::spec::{ExternIn, Spec, TaskSetId};
 use apir_core::{IndexTuple, ProgramInput, MAX_FIELDS};
 use apir_sim::delay::OutOfOrderStation;
 use apir_sim::fifo::Fifo;
-use apir_sim::metrics::{CounterId, GaugeId, MetricsRegistry, MetricsSnapshot};
+use apir_sim::metrics::{
+    CounterId, GaugeId, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot,
+    HISTOGRAM_BUCKETS,
+};
 use apir_sim::seconds_from_cycles;
 use apir_sim::stats::{Activity, ActivityTracker, StallCause, UtilizationSummary};
-use apir_sim::timeline::{Timeline, TimelineRecorder, TimelineSample};
-use apir_sim::trace::{CompId, EventTrace};
+use apir_sim::timeline::{Timeline, TimelineRecorder, TimelineSample, TimelineWindow};
+use apir_sim::trace::{CompId, EventTrace, TraceRecord};
+use apir_util::json::Json;
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
@@ -79,6 +84,27 @@ impl FabricError {
             FabricError::Deadlock { report, .. }
             | FabricError::MaxCycles { report, .. }
             | FabricError::LinkFailed { report, .. } => Some(report),
+            FabricError::RejectedByLint { .. } => None,
+        }
+    }
+
+    /// Stable terminal-cause tag for report JSON (`terminated.kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FabricError::Deadlock { .. } => "deadlock",
+            FabricError::MaxCycles { .. } => "max_cycles",
+            FabricError::LinkFailed { .. } => "link_failed",
+            FabricError::RejectedByLint { .. } => "rejected_by_lint",
+        }
+    }
+
+    /// Cycle at which the run terminated, when it got that far
+    /// (`RejectedByLint` fails before the first cycle).
+    pub fn failure_cycle(&self) -> Option<u64> {
+        match self {
+            FabricError::Deadlock { cycle, .. }
+            | FabricError::MaxCycles { cycle, .. }
+            | FabricError::LinkFailed { cycle, .. } => Some(*cycle),
             FabricError::RejectedByLint { .. } => None,
         }
     }
@@ -150,6 +176,35 @@ pub struct FabricReport {
     pub trace: Option<EventTrace>,
     /// Windowed activity/memory timeline, when `timeline_window > 0`.
     pub timeline: Option<Timeline>,
+    /// Rollback-and-replay recovery summary; present exactly when
+    /// recovery was armed (`max_rollbacks > 0`), even if no link
+    /// failure ever triggered it.
+    pub rollbacks: Option<RollbackSummary>,
+}
+
+/// Totals for the checkpoint/rollback recovery path: how often a
+/// terminal link failure was converted into a rewind-and-replay, and
+/// how much simulated work was re-executed to get there.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RollbackSummary {
+    /// Rollbacks performed (≤ `FabricConfig::max_rollbacks`).
+    pub count: u64,
+    /// Total cycles re-executed (Σ failure cycle − checkpoint cycle).
+    pub replayed_cycles: u64,
+    /// One `(fail_cycle, resume_cycle)` pair per rollback, in order.
+    pub events: Vec<(u64, u64)>,
+}
+
+/// Outcome of [`Fabric::run_until`]: the run either finished before the
+/// target cycle or paused at it with work still in flight.
+#[allow(clippy::large_enum_variant)]
+pub enum RunSplit {
+    /// The run completed before reaching the target cycle.
+    Done(Box<FabricReport>),
+    /// The target cycle was reached; the paused fabric can be
+    /// snapshotted with [`Fabric::snapshot`] or resumed with
+    /// [`Fabric::run`] / [`Fabric::run_until`].
+    Paused(Box<Fabric>),
 }
 
 impl FabricReport {
@@ -215,6 +270,15 @@ impl FabricMetricIds {
             faults: FaultMetrics::register(m),
         }
     }
+}
+
+/// Metric handles for the rollback-recovery path, registered only when
+/// `max_rollbacks > 0` so fault-free and plain-chaos reports (and their
+/// goldens) keep their exact key set.
+struct RollbackIds {
+    count: CounterId,
+    replayed: CounterId,
+    last_cycle: CounterId,
 }
 
 /// Cheap per-tick capture of the totals whose deltas become trace
@@ -321,6 +385,20 @@ pub struct Fabric {
     /// Rendered lint report when the analyzer found error-level findings;
     /// [`Fabric::run`] refuses to start while this is set.
     lint_errors: Option<String>,
+    /// In-memory checkpoint (a full snapshot document) for
+    /// rollback-and-replay, refreshed every `checkpoint_interval` cycles.
+    ckpt: Option<Json>,
+    /// Cycle at which `ckpt` was taken.
+    ckpt_cycle: u64,
+    /// Rollbacks performed so far (≤ `max_rollbacks`); also the re-salt
+    /// epoch of the link RNG stream after the most recent rollback.
+    rollbacks_done: u64,
+    /// Total cycles re-executed across all rollbacks.
+    rollback_replayed: u64,
+    /// `(fail_cycle, resume_cycle)` per rollback, in order.
+    rollback_events: Vec<(u64, u64)>,
+    /// `fault.rollback.*` metric handles, when recovery is armed.
+    mids_rollback: Option<RollbackIds>,
     metrics: MetricsRegistry,
     mids: FabricMetricIds,
     trace: Option<EventTrace>,
@@ -372,6 +450,11 @@ impl Fabric {
             .collect();
         let mut metrics = MetricsRegistry::new();
         let mids = FabricMetricIds::register(&mut metrics, spec);
+        let mids_rollback = (cfg.max_rollbacks > 0).then(|| RollbackIds {
+            count: metrics.counter("fault.rollback.count"),
+            replayed: metrics.counter("fault.rollback.replayed_cycles"),
+            last_cycle: metrics.counter("fault.rollback.last_cycle"),
+        });
         let mut trace = (cfg.trace_capacity > 0).then(|| EventTrace::new(cfg.trace_capacity));
         let mut intern = |name: &str| {
             trace.as_mut().map_or(CompId(0), |t| t.comp(name))
@@ -494,6 +577,12 @@ impl Fabric {
             escalated: false,
             fault_respill: VecDeque::new(),
             lint_errors,
+            ckpt: None,
+            ckpt_cycle: 0,
+            rollbacks_done: 0,
+            rollback_replayed: 0,
+            rollback_events: Vec::new(),
+            mids_rollback,
             metrics,
             mids,
             trace,
@@ -524,7 +613,32 @@ impl Fabric {
         if let Some(report) = self.lint_errors.take() {
             return Err(FabricError::RejectedByLint { report });
         }
-        self.run_loop()
+        match self.run_loop(None)? {
+            RunSplit::Done(report) => Ok(*report),
+            RunSplit::Paused(_) => unreachable!("no pause target"),
+        }
+    }
+
+    /// Runs until the fabric either finishes (exactly the [`Fabric::run`]
+    /// contract) or reaches a cycle ≥ `target` with work still in
+    /// flight, returning the paused fabric for snapshotting. Under the
+    /// event wheel a quiescent jump may overshoot `target`; the pause
+    /// then lands on the first post-jump cycle. `run_until(0)` pauses
+    /// before the first tick.
+    ///
+    /// Restore equivalence: snapshotting the paused fabric, restoring
+    /// it, and running to completion is byte-identical to the
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`Fabric::run`] contract, when the run fails before
+    /// reaching `target`.
+    pub fn run_until(mut self, target: u64) -> Result<RunSplit, FabricError> {
+        if let Some(report) = self.lint_errors.take() {
+            return Err(FabricError::RejectedByLint { report });
+        }
+        self.run_loop(Some(target))
     }
 
     /// One-shot job entry point: builds the fabric and runs it to
@@ -545,10 +659,29 @@ impl Fabric {
         Fabric::new(spec, input, cfg).run()
     }
 
-    fn run_loop(mut self) -> Result<FabricReport, FabricError> {
+    fn run_loop(mut self, target: Option<u64>) -> Result<RunSplit, FabricError> {
+        // Arm the recovery path: checkpoint the pristine (or restored)
+        // state so a failure before the first interval elapses still has
+        // somewhere to rewind to.
+        if self.cfg.checkpoint_interval > 0 && self.ckpt.is_none() {
+            self.take_checkpoint();
+        }
         loop {
+            if target.is_some_and(|t| self.cycle >= t) {
+                return Ok(RunSplit::Paused(Box::new(self)));
+            }
             let moved = self.tick();
             if let Some(lf) = self.mem.link_failure() {
+                // Rollback-and-replay: rewind to the last checkpoint and
+                // re-run the window under a re-salted link RNG stream
+                // instead of aborting, while the budget lasts.
+                if self.cfg.max_rollbacks > 0
+                    && self.rollbacks_done < u64::from(self.cfg.max_rollbacks)
+                    && self.ckpt.is_some()
+                {
+                    self.rollback_and_replay();
+                    continue;
+                }
                 let cycle = self.cycle;
                 let diagnostics = format!(
                     "transfer tag {} on port {} dropped {} times (retries exhausted); {}",
@@ -563,8 +696,15 @@ impl Fabric {
                     report: Box::new(self.into_report()),
                 });
             }
+            // `>=` rather than `==`: a quiescent jump can overshoot the
+            // exact interval boundary.
+            if self.cfg.checkpoint_interval > 0
+                && self.cycle - self.ckpt_cycle >= self.cfg.checkpoint_interval
+            {
+                self.take_checkpoint();
+            }
             if self.is_done() {
-                return Ok(self.into_report());
+                return Ok(RunSplit::Done(Box::new(self.into_report())));
             }
             if self.cycle >= self.cfg.max_cycles {
                 let cycle = self.cycle;
@@ -609,6 +749,45 @@ impl Fabric {
             && self.pending_tasks.is_empty()
             && self.fault_respill.is_empty()
             && self.mem.is_idle()
+    }
+
+    /// Captures the in-memory rollback checkpoint. Snapshotting is a
+    /// pure observer — it never perturbs the run, so a checkpointing
+    /// run stays byte-identical to a non-checkpointing one until (and
+    /// unless) a rollback actually fires.
+    fn take_checkpoint(&mut self) {
+        self.ckpt_cycle = self.cycle;
+        self.ckpt = Some(self.snapshot());
+    }
+
+    /// Rewinds to the in-memory checkpoint after a terminal link
+    /// failure and re-salts the link RNG stream so the replay draws a
+    /// fresh drop schedule. Recovery progress (rollback counters, the
+    /// event log, and the checkpoint itself) is meta-state: it survives
+    /// the rewind rather than being restored from it.
+    fn rollback_and_replay(&mut self) {
+        let fail_cycle = self.cycle;
+        let epoch = self.rollbacks_done + 1;
+        let events = std::mem::take(&mut self.rollback_events);
+        let replayed = self.rollback_replayed;
+        let doc = self.ckpt.clone().expect("rollback requires a checkpoint");
+        self.restore_values(&doc)
+            .expect("in-memory checkpoint restores against its own fabric");
+        self.rollbacks_done = epoch;
+        self.rollback_replayed = replayed + (fail_cycle - self.cycle);
+        self.rollback_events = events;
+        self.rollback_events.push((fail_cycle, self.cycle));
+        if let Some(plan) = self.mem.faults_mut() {
+            plan.resalt_link(epoch);
+        }
+        if let Some(ids) = &self.mids_rollback {
+            self.metrics.set_counter(ids.count, epoch);
+            self.metrics.set_counter(ids.replayed, self.rollback_replayed);
+            self.metrics.set_counter(ids.last_cycle, fail_cycle);
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(self.cycle, self.tr_fault, "rollback", epoch);
+        }
     }
 
     /// Last-resort liveness escalation, run when the progress watchdog
@@ -734,6 +913,11 @@ impl Fabric {
         let faults = self.fault_totals();
         self.mids.faults.publish(&faults, &mut self.metrics);
         FabricReport {
+            rollbacks: (self.cfg.max_rollbacks > 0).then(|| RollbackSummary {
+                count: self.rollbacks_done,
+                replayed_cycles: self.rollback_replayed,
+                events: self.rollback_events.clone(),
+            }),
             faults,
             metrics: self.metrics.snapshot(),
             activity: util.clone(),
@@ -1883,6 +2067,850 @@ fn tick_pipeline(
         }
     }
     (progress, active || progress)
+}
+
+impl Fabric {
+    /// Serializes the complete mutable state of this fabric as an
+    /// `apir.fabric.snapshot.v1` document. Everything derivable from the
+    /// `(spec, input, config)` triple is structural and omitted; see
+    /// [`crate::snapshot`] for the contract.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(SNAPSHOT_SCHEMA)),
+            ("cycle", Json::U64(self.cycle)),
+            (
+                "core",
+                Json::obj([
+                    ("next_seq", Json::U64(self.next_seq)),
+                    ("next_tag", Json::U64(self.next_tag)),
+                    ("last_progress", Json::U64(self.last_progress)),
+                    ("escalated", Json::Bool(self.escalated)),
+                    ("wd_escalations", Json::U64(self.wd_escalations)),
+                    ("wd_flushes", Json::U64(self.wd_flushes)),
+                    ("squashes", Json::U64(self.squashes)),
+                    ("requeues", Json::U64(self.requeues)),
+                    ("bounces", Json::U64(self.bounces)),
+                    (
+                        "retired",
+                        Json::arr(self.retired.iter().map(|&r| Json::U64(r))),
+                    ),
+                ]),
+            ),
+            (
+                "rollback",
+                Json::obj([
+                    ("done", Json::U64(self.rollbacks_done)),
+                    ("replayed", Json::U64(self.rollback_replayed)),
+                    (
+                        "events",
+                        Json::arr(
+                            self.rollback_events.iter().map(|&(f, r)| pair_json(f, r)),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "live",
+                Json::arr(self.live.iter().map(|(i, s)| {
+                    Json::arr([snapshot::index_json(i), Json::U64(*s)])
+                })),
+            ),
+            (
+                "seed_backlog",
+                Json::arr(self.seed_backlog.iter().map(|(ts, f)| {
+                    Json::arr([Json::U64(ts.0 as u64), snapshot::fields_json(f)])
+                })),
+            ),
+            (
+                "pending_tasks",
+                Json::arr(self.pending_tasks.iter().map(|(ts, idx, f)| {
+                    Json::arr([
+                        Json::U64(ts.0 as u64),
+                        snapshot::index_json(idx),
+                        snapshot::fields_json(f),
+                    ])
+                })),
+            ),
+            (
+                "pending_events",
+                Json::arr(self.pending_events.iter().map(snapshot::event_json)),
+            ),
+            (
+                "bus_staged",
+                Json::arr(self.bus_staged.iter().map(snapshot::event_json)),
+            ),
+            (
+                "bus_current",
+                Json::arr(self.bus_current.iter().map(snapshot::event_json)),
+            ),
+            (
+                "fault_respill",
+                Json::arr(self.fault_respill.iter().map(|(qi, t)| {
+                    Json::arr([Json::U64(*qi as u64), snapshot::token_json(t)])
+                })),
+            ),
+            (
+                "resp",
+                Json::arr(self.resp.iter().map(|q| {
+                    Json::arr(q.iter().map(|&(t, w)| pair_json(t, w)))
+                })),
+            ),
+            (
+                "retire_log",
+                Json::arr(self.retire_log.iter().map(|&(c, s)| pair_json(c, s as u64))),
+            ),
+            (
+                "queues",
+                Json::arr(self.queues.iter().map(TaskQueue::snapshot_json)),
+            ),
+            (
+                "engines",
+                Json::arr(self.engines.iter().map(RuleEngine::snapshot_json)),
+            ),
+            ("mem", self.mem.snapshot_json()),
+            (
+                "pipelines",
+                Json::arr(self.pipelines.iter().map(pipeline_json)),
+            ),
+            ("metrics", metrics_json(&self.metrics.snapshot())),
+            ("trace", self.trace.as_ref().map_or(Json::Null, trace_json)),
+            (
+                "timeline",
+                self.timeline.as_ref().map_or(Json::Null, timeline_json),
+            ),
+            ("tl_prev", sample_json(&self.tl_prev)),
+        ])
+    }
+
+    /// Rebuilds a fabric from the `(spec, input, cfg)` triple the
+    /// snapshot was taken under, plus the snapshot document. Running the
+    /// result to completion is byte-identical to the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Any structural mismatch — a snapshot taken under a different
+    /// spec or config, a truncated or hand-mangled document — fails
+    /// loudly with the offending member named.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec was not validated (the [`Fabric::new`]
+    /// contract).
+    pub fn restore(
+        spec: &Spec,
+        input: &ProgramInput,
+        cfg: FabricConfig,
+        doc: &Json,
+    ) -> Result<Fabric, String> {
+        let mut f = Fabric::new(spec, input, cfg);
+        f.restore_values(doc)?;
+        Ok(f)
+    }
+
+    /// Overwrites every mutable value from a snapshot document, leaving
+    /// structure (and rollback checkpoint meta) untouched.
+    fn restore_values(&mut self, doc: &Json) -> Result<(), String> {
+        let schema = snapshot::str_field(doc, "schema")?;
+        if schema != SNAPSHOT_SCHEMA {
+            return Err(format!(
+                "snapshot: schema `{schema}`, expected `{SNAPSHOT_SCHEMA}`"
+            ));
+        }
+        self.cycle = snapshot::u64_field(doc, "cycle")?;
+
+        let core = snapshot::field(doc, "core")?;
+        self.next_seq = snapshot::u64_field(core, "next_seq")?;
+        self.next_tag = snapshot::u64_field(core, "next_tag")?;
+        self.last_progress = snapshot::u64_field(core, "last_progress")?;
+        self.escalated = snapshot::bool_field(core, "escalated")?;
+        self.wd_escalations = snapshot::u64_field(core, "wd_escalations")?;
+        self.wd_flushes = snapshot::u64_field(core, "wd_flushes")?;
+        self.squashes = snapshot::u64_field(core, "squashes")?;
+        self.requeues = snapshot::u64_field(core, "requeues")?;
+        self.bounces = snapshot::u64_field(core, "bounces")?;
+        let retired = snapshot::u64_vec(snapshot::field(core, "retired")?, "retired")?;
+        if retired.len() != self.retired.len() {
+            return Err(format!(
+                "snapshot: {} retired counters, fabric has {} task sets",
+                retired.len(),
+                self.retired.len()
+            ));
+        }
+        self.retired = retired;
+
+        let rb = snapshot::field(doc, "rollback")?;
+        self.rollbacks_done = snapshot::u64_field(rb, "done")?;
+        self.rollback_replayed = snapshot::u64_field(rb, "replayed")?;
+        self.rollback_events = snapshot::arr_field(rb, "events")?
+            .iter()
+            .map(|e| pair_from(e, "rollback event"))
+            .collect::<Result<_, _>>()?;
+
+        self.live.clear();
+        for e in snapshot::arr_field(doc, "live")? {
+            let parts = snapshot::need_arr(e, "live entry")?;
+            let [idx, seq] = parts else {
+                return Err("snapshot: malformed live entry".into());
+            };
+            self.live.insert((
+                snapshot::index_from(idx)?,
+                snapshot::need_u64(seq, "live seq")?,
+            ));
+        }
+
+        self.seed_backlog = snapshot::arr_field(doc, "seed_backlog")?
+            .iter()
+            .map(|e| {
+                let parts = snapshot::need_arr(e, "seed entry")?;
+                let [ts, fields] = parts else {
+                    return Err("snapshot: malformed seed entry".into());
+                };
+                Ok((
+                    self.task_set_from(ts)?,
+                    snapshot::fields_from(fields)?,
+                ))
+            })
+            .collect::<Result<_, String>>()?;
+
+        self.pending_tasks = snapshot::arr_field(doc, "pending_tasks")?
+            .iter()
+            .map(|e| {
+                let parts = snapshot::need_arr(e, "pending task")?;
+                let [ts, idx, fields] = parts else {
+                    return Err("snapshot: malformed pending task".into());
+                };
+                Ok((
+                    self.task_set_from(ts)?,
+                    snapshot::index_from(idx)?,
+                    snapshot::fields_from(fields)?,
+                ))
+            })
+            .collect::<Result<_, String>>()?;
+
+        self.pending_events = snapshot::arr_field(doc, "pending_events")?
+            .iter()
+            .map(snapshot::event_from)
+            .collect::<Result<_, _>>()?;
+        self.bus_staged = snapshot::arr_field(doc, "bus_staged")?
+            .iter()
+            .map(snapshot::event_from)
+            .collect::<Result<_, _>>()?;
+        self.bus_current = snapshot::arr_field(doc, "bus_current")?
+            .iter()
+            .map(snapshot::event_from)
+            .collect::<Result<_, _>>()?;
+
+        self.fault_respill = snapshot::arr_field(doc, "fault_respill")?
+            .iter()
+            .map(|e| {
+                let parts = snapshot::need_arr(e, "respill entry")?;
+                let [qi, token] = parts else {
+                    return Err("snapshot: malformed respill entry".into());
+                };
+                let qi = snapshot::need_u64(qi, "respill queue")? as usize;
+                if qi >= self.queues.len() {
+                    return Err(format!("snapshot: respill queue {qi} out of range"));
+                }
+                Ok((qi, snapshot::token_from(token)?))
+            })
+            .collect::<Result<_, String>>()?;
+
+        let resp = snapshot::arr_field(doc, "resp")?;
+        if resp.len() != self.resp.len() {
+            return Err(format!(
+                "snapshot: {} response ports, fabric has {}",
+                resp.len(),
+                self.resp.len()
+            ));
+        }
+        for (port, rj) in self.resp.iter_mut().zip(resp.iter()) {
+            *port = snapshot::need_arr(rj, "resp port")?
+                .iter()
+                .map(|e| pair_from(e, "response"))
+                .collect::<Result<_, _>>()?;
+        }
+
+        self.retire_log = snapshot::arr_field(doc, "retire_log")?
+            .iter()
+            .map(|e| pair_from(e, "retirement").map(|(c, s)| (c, s as usize)))
+            .collect::<Result<_, _>>()?;
+
+        let queues = snapshot::arr_field(doc, "queues")?;
+        if queues.len() != self.queues.len() {
+            return Err(format!(
+                "snapshot: {} queues, fabric has {}",
+                queues.len(),
+                self.queues.len()
+            ));
+        }
+        for (q, qj) in self.queues.iter_mut().zip(queues.iter()) {
+            q.restore_json(qj)?;
+        }
+
+        let engines = snapshot::arr_field(doc, "engines")?;
+        if engines.len() != self.engines.len() {
+            return Err(format!(
+                "snapshot: {} rule engines, fabric has {}",
+                engines.len(),
+                self.engines.len()
+            ));
+        }
+        for (e, ej) in self.engines.iter_mut().zip(engines.iter()) {
+            e.restore_json(ej)?;
+        }
+
+        self.mem.restore_json(snapshot::field(doc, "mem")?)?;
+
+        let pipelines = snapshot::arr_field(doc, "pipelines")?;
+        if pipelines.len() != self.pipelines.len() {
+            return Err(format!(
+                "snapshot: {} pipelines, fabric has {}",
+                pipelines.len(),
+                self.pipelines.len()
+            ));
+        }
+        for (p, pj) in self.pipelines.iter_mut().zip(pipelines.iter()) {
+            restore_pipeline(p, pj)?;
+        }
+
+        let entries = metrics_entries_from(snapshot::field(doc, "metrics")?)?;
+        self.metrics
+            .restore_values(&MetricsSnapshot::from_entries(entries))?;
+
+        match (&self.trace, snapshot::field(doc, "trace")?) {
+            (None, Json::Null) => {}
+            (Some(tr), tj @ Json::Obj(_)) => {
+                self.trace = Some(trace_from(tj, tr.capacity())?);
+            }
+            _ => {
+                return Err(
+                    "snapshot: trace presence disagrees with config trace_capacity".into(),
+                )
+            }
+        }
+
+        match (&self.timeline, snapshot::field(doc, "timeline")?) {
+            (None, Json::Null) => {}
+            (Some(tl), tj @ Json::Obj(_)) => {
+                let (capacity, ..) = tl.state();
+                self.timeline = Some(timeline_from(tj, tl.window(), capacity)?);
+            }
+            _ => {
+                return Err(
+                    "snapshot: timeline presence disagrees with config timeline_window".into(),
+                )
+            }
+        }
+
+        self.tl_prev = sample_from(snapshot::field(doc, "tl_prev")?, "tl_prev")?;
+        Ok(())
+    }
+
+    /// Decodes and range-checks a task-set id.
+    fn task_set_from(&self, j: &Json) -> Result<TaskSetId, String> {
+        let ts = snapshot::need_u64(j, "task set")? as usize;
+        if ts >= self.spec.task_sets().len() {
+            return Err(format!("snapshot: task set {ts} out of range"));
+        }
+        Ok(TaskSetId(ts))
+    }
+}
+
+/// Encodes a `(u64, u64)` pair as a two-element array.
+fn pair_json(a: u64, b: u64) -> Json {
+    Json::arr([Json::U64(a), Json::U64(b)])
+}
+
+/// Decodes a `(u64, u64)` pair.
+fn pair_from(j: &Json, what: &str) -> Result<(u64, u64), String> {
+    let v = snapshot::u64_vec(j, what)?;
+    match v.as_slice() {
+        [a, b] => Ok((*a, *b)),
+        _ => Err(format!("snapshot: `{what}` is not a pair")),
+    }
+}
+
+/// Encodes a timeline sample as its seven counters, in field order.
+fn sample_json(s: &TimelineSample) -> Json {
+    Json::arr(
+        [s.busy, s.stall, s.idle, s.retired, s.hits, s.misses, s.qpi_bytes]
+            .into_iter()
+            .map(Json::U64),
+    )
+}
+
+/// Decodes a timeline sample.
+fn sample_from(j: &Json, what: &str) -> Result<TimelineSample, String> {
+    let v = snapshot::u64_vec(j, what)?;
+    let [busy, stall, idle, retired, hits, misses, qpi_bytes] = v.as_slice() else {
+        return Err(format!("snapshot: `{what}` is not a 7-field sample"));
+    };
+    Ok(TimelineSample {
+        busy: *busy,
+        stall: *stall,
+        idle: *idle,
+        retired: *retired,
+        hits: *hits,
+        misses: *misses,
+        qpi_bytes: *qpi_bytes,
+    })
+}
+
+/// Encodes an activity tracker as `[busy, stall, idle, stall_by...]`.
+fn tracker_json(t: &ActivityTracker) -> Json {
+    Json::arr(
+        [t.busy, t.stall, t.idle]
+            .into_iter()
+            .chain(t.stall_by.iter().copied())
+            .map(Json::U64),
+    )
+}
+
+/// Decodes an activity tracker.
+fn tracker_from(j: &Json) -> Result<ActivityTracker, String> {
+    let v = snapshot::u64_vec(j, "tracker")?;
+    if v.len() != 3 + StallCause::COUNT {
+        return Err(format!(
+            "snapshot: tracker has {} counters, expected {}",
+            v.len(),
+            3 + StallCause::COUNT
+        ));
+    }
+    let mut stall_by = [0u64; StallCause::COUNT];
+    stall_by.copy_from_slice(&v[3..]);
+    Ok(ActivityTracker {
+        busy: v[0],
+        stall: v[1],
+        idle: v[2],
+        stall_by,
+    })
+}
+
+/// Stable wire code of an activity state.
+fn activity_code(a: Activity) -> u64 {
+    match a {
+        Activity::Busy => 0,
+        Activity::Stall => 1,
+        Activity::Idle => 2,
+    }
+}
+
+/// Decodes an activity state.
+fn activity_from(c: u64) -> Result<Activity, String> {
+    match c {
+        0 => Ok(Activity::Busy),
+        1 => Ok(Activity::Stall),
+        2 => Ok(Activity::Idle),
+        _ => Err(format!("snapshot: bad activity code {c}")),
+    }
+}
+
+/// Decodes a stall cause by its declaration-order discriminant.
+fn stall_cause_from(c: u64) -> Result<StallCause, String> {
+    StallCause::ALL
+        .get(c as usize)
+        .copied()
+        .ok_or_else(|| format!("snapshot: bad stall cause code {c}"))
+}
+
+/// Encodes a reservation station's entries in slot order (slot order is
+/// behavioral: `take_ready` prefers the oldest ready slot).
+fn station_json(st: &OutOfOrderStation<Ctx>) -> Json {
+    Json::arr(st.iter_entries().map(|(tag, ctx, ready, word, born)| {
+        Json::arr([
+            Json::U64(tag),
+            snapshot::ctx_json(ctx),
+            Json::Bool(ready),
+            Json::U64(word),
+            Json::U64(born),
+        ])
+    }))
+}
+
+/// Decodes a reservation station; `body_len` is the SSA width of the
+/// parked contexts.
+fn station_from(
+    j: &Json,
+    cap: usize,
+    body_len: usize,
+) -> Result<OutOfOrderStation<Ctx>, String> {
+    let mut entries = Vec::new();
+    for e in snapshot::need_arr(j, "station")? {
+        let parts = snapshot::need_arr(e, "station entry")?;
+        let [tag, ctx, ready, word, born] = parts else {
+            return Err("snapshot: malformed station entry".into());
+        };
+        entries.push((
+            snapshot::need_u64(tag, "station tag")?,
+            snapshot::ctx_from(ctx, body_len)?,
+            ready
+                .as_bool()
+                .ok_or("snapshot: station ready flag is not a bool")?,
+            snapshot::need_u64(word, "station word")?,
+            snapshot::need_u64(born, "station born")?,
+        ));
+    }
+    if entries.len() > cap {
+        return Err(format!(
+            "snapshot: {} station entries exceed window {cap}",
+            entries.len()
+        ));
+    }
+    Ok(OutOfOrderStation::from_parts(cap, entries))
+}
+
+/// Encodes one pipeline's latches, stage state, and extern unit.
+fn pipeline_json(p: &Pipeline) -> Json {
+    Json::obj([
+        (
+            "latches",
+            Json::arr(p.latches.iter().map(|l| {
+                l.as_ref().map_or(Json::Null, snapshot::ctx_json)
+            })),
+        ),
+        (
+            "stages",
+            Json::arr(p.stages.iter().map(|st| {
+                Json::obj([
+                    ("st", st.station.as_ref().map_or(Json::Null, station_json)),
+                    ("ep", st.expand_pos.map_or(Json::Null, Json::U64)),
+                    ("tk", tracker_json(&st.tracker)),
+                    (
+                        "la",
+                        st.last_activity
+                            .map_or(Json::Null, |a| Json::U64(activity_code(a))),
+                    ),
+                    ("lsc", Json::U64(st.last_stall_cause as u64)),
+                ])
+            })),
+        ),
+        (
+            "ext",
+            p.extern_unit.as_ref().map_or(Json::Null, extern_unit_json),
+        ),
+    ])
+}
+
+/// Restores one pipeline from its snapshot member.
+fn restore_pipeline(p: &mut Pipeline, pj: &Json) -> Result<(), String> {
+    let body_len = p.stages.len();
+    let latches = snapshot::arr_field(pj, "latches")?;
+    if latches.len() != body_len {
+        return Err(format!(
+            "snapshot: {} latches, pipeline has {body_len} stages",
+            latches.len()
+        ));
+    }
+    for (slot, lj) in p.latches.iter_mut().zip(latches.iter()) {
+        *slot = match lj {
+            Json::Null => None,
+            _ => Some(snapshot::ctx_from(lj, body_len)?),
+        };
+    }
+    let stages = snapshot::arr_field(pj, "stages")?;
+    if stages.len() != body_len {
+        return Err(format!(
+            "snapshot: {} stage records, pipeline has {body_len}",
+            stages.len()
+        ));
+    }
+    for (st, sj) in p.stages.iter_mut().zip(stages.iter()) {
+        let station_j = snapshot::field(sj, "st")?;
+        match (&mut st.station, station_j) {
+            (None, Json::Null) => {}
+            (Some(station), Json::Arr(_)) => {
+                *station = station_from(station_j, station.capacity(), body_len)?;
+            }
+            _ => return Err("snapshot: station presence disagrees with stage op".into()),
+        }
+        st.expand_pos = match snapshot::field(sj, "ep")? {
+            Json::Null => None,
+            v => Some(snapshot::need_u64(v, "expand_pos")?),
+        };
+        st.tracker = tracker_from(snapshot::field(sj, "tk")?)?;
+        st.last_activity = match snapshot::field(sj, "la")? {
+            Json::Null => None,
+            v => Some(activity_from(snapshot::need_u64(v, "last_activity")?)?),
+        };
+        st.last_stall_cause =
+            stall_cause_from(snapshot::u64_field(sj, "lsc")?)?;
+    }
+    let ext_j = snapshot::field(pj, "ext")?;
+    match (&mut p.extern_unit, ext_j) {
+        (None, Json::Null) => Ok(()),
+        (Some(u), Json::Obj(_)) => restore_extern_unit(u, ext_j),
+        _ => Err("snapshot: extern unit presence disagrees with spec".into()),
+    }
+}
+
+/// Encodes an extern-core request.
+fn extern_req_json(r: &ExternReq) -> Json {
+    Json::obj([
+        ("t", Json::U64(r.tag)),
+        ("p", Json::U64(r.port as u64)),
+        ("e", Json::U64(r.ext as u64)),
+        ("a", snapshot::fields_json(&r.args)),
+        ("n", Json::U64(r.nargs as u64)),
+        ("i", snapshot::index_json(&r.index)),
+    ])
+}
+
+/// Decodes an extern-core request.
+fn extern_req_from(j: &Json) -> Result<ExternReq, String> {
+    Ok(ExternReq {
+        tag: snapshot::u64_field(j, "t")?,
+        port: snapshot::u64_field(j, "p")? as u32,
+        ext: snapshot::usize_field(j, "e")?,
+        args: snapshot::fields_from(snapshot::field(j, "a")?)?,
+        nargs: snapshot::u64_field(j, "n")? as u8,
+        index: snapshot::index_from(snapshot::field(j, "i")?)?,
+    })
+}
+
+/// Encodes an extern unit (request FIFO, in-flight job, call count).
+fn extern_unit_json(u: &ExternUnit) -> Json {
+    Json::obj([
+        (
+            "q",
+            Json::obj([
+                ("v", Json::arr(u.queue.iter().map(extern_req_json))),
+                ("s", Json::arr(u.queue.iter_staged().map(extern_req_json))),
+            ]),
+        ),
+        (
+            "busy",
+            u.busy.as_ref().map_or(Json::Null, |j| {
+                Json::obj([
+                    ("t", Json::U64(j.tag)),
+                    ("p", Json::U64(j.port as u64)),
+                    ("r", Json::U64(j.result)),
+                    ("b", Json::U64(j.bytes_left)),
+                    ("c", Json::U64(j.compute_left)),
+                ])
+            }),
+        ),
+        ("calls", Json::U64(u.calls)),
+    ])
+}
+
+/// Restores an extern unit from its snapshot member.
+fn restore_extern_unit(u: &mut ExternUnit, j: &Json) -> Result<(), String> {
+    let qj = snapshot::field(j, "q")?;
+    let visible: Vec<ExternReq> = snapshot::arr_field(qj, "v")?
+        .iter()
+        .map(extern_req_from)
+        .collect::<Result<_, _>>()?;
+    let staged: Vec<ExternReq> = snapshot::arr_field(qj, "s")?
+        .iter()
+        .map(extern_req_from)
+        .collect::<Result<_, _>>()?;
+    let cap = u.queue.capacity();
+    if visible.len() + staged.len() > cap {
+        return Err(format!(
+            "snapshot: extern queue holds {} entries, capacity {cap}",
+            visible.len() + staged.len()
+        ));
+    }
+    u.queue = Fifo::from_parts(cap, visible, staged);
+    u.busy = match snapshot::field(j, "busy")? {
+        Json::Null => None,
+        bj => Some(ExternJob {
+            tag: snapshot::u64_field(bj, "t")?,
+            port: snapshot::u64_field(bj, "p")? as u32,
+            result: snapshot::u64_field(bj, "r")?,
+            bytes_left: snapshot::u64_field(bj, "b")?,
+            compute_left: snapshot::u64_field(bj, "c")?,
+        }),
+    };
+    u.calls = snapshot::u64_field(j, "calls")?;
+    Ok(())
+}
+
+/// Encodes the metrics registry. Counters are `[key, 0, value]`, gauges
+/// `[key, 1, bits]` (raw IEEE-754 — see [`crate::snapshot`]), histograms
+/// `[key, 2, buckets, count, sum, max, saturated]` with trailing zero
+/// buckets trimmed.
+fn metrics_json(snap: &MetricsSnapshot) -> Json {
+    Json::arr(snap.entries().iter().map(|(key, val)| match val {
+        MetricValue::Counter(v) => {
+            Json::arr([Json::str(key.as_str()), Json::U64(0), Json::U64(*v)])
+        }
+        MetricValue::Gauge(g) => Json::arr([
+            Json::str(key.as_str()),
+            Json::U64(1),
+            snapshot::f64_bits_json(*g),
+        ]),
+        MetricValue::Histogram(h) => {
+            let mut buckets = h.raw_buckets().to_vec();
+            while buckets.last() == Some(&0) {
+                buckets.pop();
+            }
+            Json::arr([
+                Json::str(key.as_str()),
+                Json::U64(2),
+                Json::arr(buckets.into_iter().map(Json::U64)),
+                Json::U64(h.count()),
+                Json::U64(h.sum()),
+                Json::U64(h.max()),
+                Json::Bool(h.saturated()),
+            ])
+        }
+    }))
+}
+
+/// Decodes the metrics member back into snapshot entries.
+fn metrics_entries_from(j: &Json) -> Result<Vec<(String, MetricValue)>, String> {
+    let mut entries = Vec::new();
+    for e in snapshot::need_arr(j, "metrics")? {
+        let parts = snapshot::need_arr(e, "metric entry")?;
+        if parts.len() < 3 {
+            return Err("snapshot: malformed metric entry".into());
+        }
+        let key = parts[0]
+            .as_str()
+            .ok_or("snapshot: metric key is not a string")?;
+        let value = match snapshot::need_u64(&parts[1], "metric kind")? {
+            0 => MetricValue::Counter(snapshot::need_u64(&parts[2], key)?),
+            1 => MetricValue::Gauge(snapshot::f64_from_bits(&parts[2], key)?),
+            2 => {
+                let [_, _, buckets, count, sum, max, saturated] = parts else {
+                    return Err(format!("snapshot: malformed histogram `{key}`"));
+                };
+                let buckets = snapshot::u64_vec(buckets, key)?;
+                if buckets.len() > HISTOGRAM_BUCKETS {
+                    return Err(format!("snapshot: histogram `{key}` has too many buckets"));
+                }
+                MetricValue::Histogram(Histogram::from_parts(
+                    buckets,
+                    snapshot::need_u64(count, key)?,
+                    snapshot::need_u64(sum, key)?,
+                    snapshot::need_u64(max, key)?,
+                    saturated
+                        .as_bool()
+                        .ok_or("snapshot: histogram saturated flag is not a bool")?,
+                ))
+            }
+            k => return Err(format!("snapshot: bad metric kind {k}")),
+        };
+        entries.push((key.to_string(), value));
+    }
+    Ok(entries)
+}
+
+/// Encodes the event trace: interned component table, retained records
+/// (each `[cycle, comp, event, value]`), and the conservation counters.
+fn trace_json(tr: &EventTrace) -> Json {
+    Json::obj([
+        (
+            "components",
+            Json::arr(tr.components().iter().map(|c| Json::str(c.as_str()))),
+        ),
+        (
+            "records",
+            Json::arr(tr.records().map(|r| {
+                Json::arr([
+                    Json::U64(r.cycle),
+                    Json::U64(r.comp.0 as u64),
+                    Json::str(r.event),
+                    Json::U64(r.value),
+                ])
+            })),
+        ),
+        ("dropped", Json::U64(tr.dropped())),
+        ("emitted", Json::U64(tr.emitted())),
+    ])
+}
+
+/// Decodes the event trace, resolving record labels against the static
+/// event table.
+fn trace_from(j: &Json, cap: usize) -> Result<EventTrace, String> {
+    let components: Vec<String> = snapshot::arr_field(j, "components")?
+        .iter()
+        .map(|c| {
+            c.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "snapshot: trace component is not a string".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let mut records = Vec::new();
+    for r in snapshot::arr_field(j, "records")? {
+        let parts = snapshot::need_arr(r, "trace record")?;
+        let [cycle, comp, event, value] = parts else {
+            return Err("snapshot: malformed trace record".into());
+        };
+        let comp = snapshot::need_u64(comp, "trace comp")? as usize;
+        if comp >= components.len() {
+            return Err(format!("snapshot: trace comp {comp} out of range"));
+        }
+        records.push(TraceRecord {
+            cycle: snapshot::need_u64(cycle, "trace cycle")?,
+            comp: CompId(comp as u32),
+            event: snapshot::intern_event(
+                event
+                    .as_str()
+                    .ok_or("snapshot: trace event is not a string")?,
+            )?,
+            value: snapshot::need_u64(value, "trace value")?,
+        });
+    }
+    let dropped = snapshot::u64_field(j, "dropped")?;
+    let emitted = snapshot::u64_field(j, "emitted")?;
+    if records.len() > cap || emitted != records.len() as u64 + dropped {
+        return Err("snapshot: trace conservation invariant violated".into());
+    }
+    Ok(EventTrace::from_parts(cap, components, records, dropped, emitted))
+}
+
+/// Encodes the timeline recorder: the open window plus the closed ring.
+fn timeline_json(tl: &TimelineRecorder) -> Json {
+    let (_capacity, cur, cur_len, cur_start, dropped) = tl.state();
+    Json::obj([
+        ("cur", sample_json(&cur)),
+        ("cur_len", Json::U64(cur_len)),
+        ("cur_start", Json::U64(cur_start)),
+        ("dropped", Json::U64(dropped)),
+        (
+            "ring",
+            Json::arr(tl.ring().map(|w| {
+                Json::arr([
+                    Json::U64(w.start),
+                    Json::U64(w.cycles),
+                    sample_json(&w.sample),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Decodes the timeline recorder against the structural window/capacity.
+fn timeline_from(j: &Json, window: u64, capacity: usize) -> Result<TimelineRecorder, String> {
+    let mut ring = Vec::new();
+    for w in snapshot::arr_field(j, "ring")? {
+        let parts = snapshot::need_arr(w, "timeline window")?;
+        let [start, cycles, sample] = parts else {
+            return Err("snapshot: malformed timeline window".into());
+        };
+        ring.push(TimelineWindow {
+            start: snapshot::need_u64(start, "window start")?,
+            cycles: snapshot::need_u64(cycles, "window cycles")?,
+            sample: sample_from(sample, "window sample")?,
+        });
+    }
+    if ring.len() > capacity {
+        return Err(format!(
+            "snapshot: timeline ring holds {} windows, capacity {capacity}",
+            ring.len()
+        ));
+    }
+    Ok(TimelineRecorder::from_parts(
+        window,
+        capacity,
+        sample_from(snapshot::field(j, "cur")?, "timeline cur")?,
+        snapshot::u64_field(j, "cur_len")?,
+        snapshot::u64_field(j, "cur_start")?,
+        ring,
+        snapshot::u64_field(j, "dropped")?,
+    ))
 }
 
 /// Moves a context to the next latch, or retires it at the pipeline tail.

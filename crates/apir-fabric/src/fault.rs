@@ -249,6 +249,38 @@ impl FaultPlan {
     pub fn backoff(&self, retries: u32) -> u64 {
         self.cfg.retry_timeout.saturating_mul(1u64 << retries.min(16))
     }
+
+    /// Checkpoint state of the four per-site RNG streams, in declaration
+    /// order (`fill`, `link`, `lane`, `bank`).
+    pub fn rng_states(&self) -> [[u64; 4]; 4] {
+        [
+            self.fill.state(),
+            self.link.state(),
+            self.lane.state(),
+            self.bank.state(),
+        ]
+    }
+
+    /// Restores the four RNG streams captured by
+    /// [`FaultPlan::rng_states`] (the caller restores `stats` directly —
+    /// it is a public field).
+    pub fn restore_rng_states(&mut self, s: [[u64; 4]; 4]) {
+        self.fill = SmallRng::from_state(s[0]);
+        self.link = SmallRng::from_state(s[1]);
+        self.lane = SmallRng::from_state(s[2]);
+        self.bank = SmallRng::from_state(s[3]);
+    }
+
+    /// Re-salts the link stream for rollback epoch `epoch` (1-based).
+    /// Without this, rollback-and-replay would re-draw the exact drop
+    /// sequence that escalated in the first place and the replayed window
+    /// would be doomed to fail identically. The new stream is a pure
+    /// function of `(seed, epoch)`, so recovery stays deterministic.
+    pub fn resalt_link(&mut self, epoch: u64) {
+        self.link = SmallRng::seed_from_u64(
+            self.cfg.seed ^ 0xbf58_476d_1ce4_e5b9 ^ epoch.wrapping_mul(0xa076_1d64_78bd_642f),
+        );
+    }
 }
 
 /// Handles for the stable `fault.*` metric keys. Always registered (and

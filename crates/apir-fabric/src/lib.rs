@@ -37,9 +37,10 @@ pub mod memory;
 pub mod queue;
 pub mod resource;
 pub mod rules;
+pub mod snapshot;
 pub mod types;
 
-pub use fabric::{Fabric, FabricError, FabricReport};
+pub use fabric::{Fabric, FabricError, FabricReport, RollbackSummary, RunSplit};
 pub use fault::{FaultConfig, FaultPlan, FaultStats};
 pub use memory::MemConfig;
 pub use resource::{estimate_resources, ResourceReport, StratixV};
@@ -153,6 +154,21 @@ pub struct FabricConfig {
     /// the ring fills, the oldest windows are evicted and counted in
     /// [`apir_sim::timeline::Timeline::dropped`].
     pub timeline_capacity: usize,
+    /// Arm periodic in-memory checkpoints every this many cycles; `0`
+    /// (the default) disables them. A checkpoint is a full
+    /// [`snapshot`]-format capture of the fabric's mutable state kept in
+    /// memory, from which rollback recovery replays after a terminal
+    /// link failure. Restore-then-run is byte-identical to the
+    /// uninterrupted run, so checkpoints never perturb results.
+    pub checkpoint_interval: u64,
+    /// Maximum rollback-and-replay recoveries per run; `0` (the
+    /// default) keeps the historical behavior of aborting with
+    /// [`FabricError::LinkFailed`] once `faults.max_retries` is
+    /// exhausted. When armed (and `checkpoint_interval > 0`), a terminal
+    /// link failure restores the latest checkpoint, re-salts the link
+    /// fault stream with the rollback epoch, and resumes; only when all
+    /// rollbacks are spent does the run abort.
+    pub max_rollbacks: u32,
     /// Force the dense per-cycle scheduler instead of the event wheel.
     ///
     /// By default the fabric skips quiescent stretches (no module made
@@ -185,6 +201,8 @@ impl Default for FabricConfig {
             trace_capacity: 0,
             timeline_window: 0,
             timeline_capacity: 4096,
+            checkpoint_interval: 0,
+            max_rollbacks: 0,
             dense_tick: false,
         }
     }
@@ -293,6 +311,48 @@ impl FabricConfig {
         rate("late_rate", self.faults.late_rate, &mut report);
         rate("lane_fault_rate", self.faults.lane_fault_rate, &mut report);
         rate("bank_fault_rate", self.faults.bank_fault_rate, &mut report);
+        if self.max_rollbacks > 0 && self.checkpoint_interval == 0 {
+            report.push(
+                Diagnostic::new(
+                    Lint::RollbackWithoutCheckpoint,
+                    "config:max_rollbacks",
+                    format!(
+                        "`max_rollbacks` is {} but `checkpoint_interval` is 0: \
+                         rollback recovery has no checkpoint to restore from",
+                        self.max_rollbacks
+                    ),
+                )
+                .hint("set checkpoint_interval to a positive cycle count"),
+            );
+        }
+        if self.checkpoint_interval > 0 && self.checkpoint_interval >= self.max_cycles {
+            report.push(
+                Diagnostic::new(
+                    Lint::CheckpointNeverFires,
+                    "config:checkpoint_interval",
+                    format!(
+                        "`checkpoint_interval` ({}) is at or above `max_cycles` ({}): \
+                         only the initial cycle-0 checkpoint will ever exist",
+                        self.checkpoint_interval, self.max_cycles
+                    ),
+                )
+                .hint("lower checkpoint_interval below max_cycles"),
+            );
+        }
+        if self.max_rollbacks > 0 && !self.faults.is_enabled() {
+            report.push(
+                Diagnostic::new(
+                    Lint::RollbackWithoutFaults,
+                    "config:max_rollbacks",
+                    format!(
+                        "`max_rollbacks` is {} but fault injection is disabled: \
+                         no link failure can ever trigger a rollback",
+                        self.max_rollbacks
+                    ),
+                )
+                .hint("enable faults (drop_rate > 0) or drop max_rollbacks"),
+            );
+        }
         if self.faults.is_enabled() {
             if (self.faults.lane_fault_rate > 0.0 || self.faults.bank_fault_rate > 0.0)
                 && self.faults.fault_window == 0

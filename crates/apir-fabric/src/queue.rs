@@ -7,10 +7,12 @@
 //! pushed." We model the allocator as rotating-priority selection over
 //! banks (what a wavefront allocator converges to under uniform load).
 
+use crate::snapshot;
 use crate::types::TaskToken;
 use apir_core::spec::TaskSetKind;
 use apir_core::IndexTuple;
 use apir_sim::fifo::Fifo;
+use apir_util::json::Json;
 use apir_sim::metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 use apir_sim::stats::StallCause;
 
@@ -290,6 +292,73 @@ impl TaskQueue {
         for b in &mut self.banks {
             b.commit();
         }
+    }
+
+    /// Serializes the queue's mutable state (bank contents, allocator
+    /// rotation, counters, mask, degraded capacity) for a fabric
+    /// snapshot. Structure (kind, level, bank count, per-bank size,
+    /// reserve) is rebuilt from config on restore.
+    pub(crate) fn snapshot_json(&self) -> Json {
+        Json::obj([
+            (
+                "banks",
+                Json::arr(self.banks.iter().map(|b| {
+                    Json::obj([
+                        ("v", Json::arr(b.iter().map(snapshot::token_json))),
+                        ("s", Json::arr(b.iter_staged().map(snapshot::token_json))),
+                    ])
+                })),
+            ),
+            ("counter", Json::U64(self.counter)),
+            ("push_rr", Json::U64(self.push_rr as u64)),
+            ("pop_rr", Json::U64(self.pop_rr as u64)),
+            ("pushed_total", Json::U64(self.pushed_total)),
+            ("peak", Json::U64(self.peak as u64)),
+            ("capacity", Json::U64(self.capacity as u64)),
+            (
+                "masked",
+                Json::arr(self.masked.iter().map(|&m| Json::Bool(m))),
+            ),
+        ])
+    }
+
+    /// Restores state captured by [`TaskQueue::snapshot_json`] into a
+    /// structurally identical queue.
+    pub(crate) fn restore_json(&mut self, j: &Json) -> Result<(), String> {
+        let banks = snapshot::arr_field(j, "banks")?;
+        if banks.len() != self.banks.len() {
+            return Err(format!(
+                "snapshot: queue has {} banks, config builds {}",
+                banks.len(),
+                self.banks.len()
+            ));
+        }
+        for (bank, bj) in self.banks.iter_mut().zip(banks) {
+            let decode = |key: &str| -> Result<Vec<TaskToken>, String> {
+                snapshot::arr_field(bj, key)?
+                    .iter()
+                    .map(snapshot::token_from)
+                    .collect()
+            };
+            let visible = decode("v")?;
+            let staged = decode("s")?;
+            if visible.len() + staged.len() > bank.capacity() {
+                return Err("snapshot: queue bank over capacity".into());
+            }
+            *bank = Fifo::from_parts(bank.capacity(), visible, staged);
+        }
+        self.counter = snapshot::u64_field(j, "counter")?;
+        self.push_rr = snapshot::usize_field(j, "push_rr")? % self.banks.len();
+        self.pop_rr = snapshot::usize_field(j, "pop_rr")? % self.banks.len();
+        self.pushed_total = snapshot::u64_field(j, "pushed_total")?;
+        self.peak = snapshot::usize_field(j, "peak")?;
+        self.capacity = snapshot::usize_field(j, "capacity")?;
+        let masked = snapshot::bool_vec(snapshot::field(j, "masked")?, "masked")?;
+        if masked.len() != self.masked.len() {
+            return Err("snapshot: queue mask length mismatch".into());
+        }
+        self.masked = masked;
+        Ok(())
     }
 }
 

@@ -130,6 +130,22 @@ impl BandwidthMeter {
         self.consumed_total
     }
 
+    /// Checkpoint state: `(credit_bits, consumed_total, cycles)`. The
+    /// credit is exposed as raw `f64` bits so a JSON round trip cannot
+    /// perturb a single bandwidth decision on restore.
+    pub fn state(&self) -> (u64, u64, u64) {
+        (self.credit.to_bits(), self.consumed_total, self.cycles)
+    }
+
+    /// Restores state captured by [`BandwidthMeter::state`]. The rate and
+    /// burst cap are structural (rebuilt from configuration), so only the
+    /// mutable fields are overwritten.
+    pub fn restore_state(&mut self, credit_bits: u64, consumed_total: u64, cycles: u64) {
+        self.credit = f64::from_bits(credit_bits);
+        self.consumed_total = consumed_total;
+        self.cycles = cycles;
+    }
+
     /// Achieved bandwidth utilization in `[0, 1]` (bytes moved over bytes
     /// offered).
     pub fn utilization(&self) -> f64 {

@@ -77,6 +77,26 @@ impl<T> DelayLine<T> {
     pub fn is_empty(&self) -> bool {
         self.q.is_empty()
     }
+
+    /// Iterates over `(ready_cycle, element)` pairs in queue order —
+    /// checkpointing reads the absolute ready times so a restore does
+    /// not re-derive them from a shifted `now`.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (Cycle, &T)> {
+        self.q.iter().map(|(r, v)| (*r, v))
+    }
+
+    /// Rebuilds a delay line from checkpointed `(ready_cycle, element)`
+    /// pairs. The pairs must already be sorted by ready time (they are,
+    /// when they came from [`DelayLine::iter_entries`]).
+    pub fn from_parts(latency: Cycle, entries: impl IntoIterator<Item = (Cycle, T)>) -> Self {
+        let mut d = DelayLine::new(latency);
+        d.q.extend(entries);
+        debug_assert!(
+            d.q.iter().zip(d.q.iter().skip(1)).all(|(a, b)| a.0 <= b.0),
+            "restored delay line out of ready order"
+        );
+        d
+    }
 }
 
 /// A tag-matched waiting station with bounded occupancy: entries enter with
@@ -204,6 +224,30 @@ impl<T> OutOfOrderStation<T> {
     /// Iterates over every payload (waiting or ready).
     pub fn iter_all(&self) -> impl Iterator<Item = &T> {
         self.entries.iter().map(|e| &e.1)
+    }
+
+    /// Iterates over the full entry state in slot order:
+    /// `(tag, payload, ready, completion word, insertion cycle)`.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (u64, &T, bool, u64, Cycle)> {
+        self.entries
+            .iter()
+            .map(|(tag, p, ready, word, born)| (*tag, p, *ready, *word, *born))
+    }
+
+    /// Rebuilds a station from checkpointed entries (slot order matters:
+    /// [`OutOfOrderStation::take_ready`] removes the oldest ready slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero or the entries exceed it.
+    pub fn from_parts(
+        cap: usize,
+        entries: impl IntoIterator<Item = (u64, T, bool, u64, Cycle)>,
+    ) -> Self {
+        let mut s = OutOfOrderStation::new(cap);
+        s.entries.extend(entries);
+        assert!(s.entries.len() <= cap, "restored station exceeds capacity");
+        s
     }
 }
 

@@ -122,6 +122,30 @@ impl<T> Fifo<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.q.iter()
     }
+
+    /// Iterates over staged (pushed-this-cycle, not yet visible)
+    /// elements, oldest first — checkpointing needs both halves.
+    pub fn iter_staged(&self) -> impl Iterator<Item = &T> {
+        self.staged.iter()
+    }
+
+    /// Rebuilds a FIFO from checkpointed state: capacity, visible
+    /// elements, and staged elements (both oldest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero or the elements exceed it.
+    pub fn from_parts(
+        cap: usize,
+        visible: impl IntoIterator<Item = T>,
+        staged: impl IntoIterator<Item = T>,
+    ) -> Self {
+        let mut f = Fifo::new(cap);
+        f.q.extend(visible);
+        f.staged.extend(staged);
+        assert!(f.len() <= cap, "restored fifo exceeds capacity");
+        f
+    }
 }
 
 #[cfg(test)]

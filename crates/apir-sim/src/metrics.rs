@@ -129,6 +129,31 @@ impl Histogram {
         }
     }
 
+    /// Raw bucket counts, indexed by bucket number (checkpointing).
+    pub fn raw_buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from checkpointed state. `buckets` is indexed
+    /// by bucket number and padded with zeros to
+    /// [`HISTOGRAM_BUCKETS`] entries if short.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` has more than [`HISTOGRAM_BUCKETS`] entries.
+    pub fn from_parts(buckets: Vec<u64>, count: u64, sum: u64, max: u64, saturated: bool) -> Self {
+        assert!(buckets.len() <= HISTOGRAM_BUCKETS, "too many buckets");
+        let mut b = buckets;
+        b.resize(HISTOGRAM_BUCKETS, 0);
+        Histogram {
+            buckets: b,
+            count,
+            sum,
+            max,
+            saturated,
+        }
+    }
+
     /// Non-empty buckets as `(inclusive_upper_bound, count)`, ascending.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -270,6 +295,34 @@ impl MetricsRegistry {
         self.metrics.is_empty()
     }
 
+    /// Overwrites every metric's *value* from a snapshot, leaving the
+    /// registered structure (keys, types, handle numbering) untouched.
+    /// The snapshot must cover exactly the registered keys with matching
+    /// types; restore rebuilds structure by re-running registration, so
+    /// any divergence is a config/schema mismatch, reported as `Err`.
+    pub fn restore_values(&mut self, snap: &MetricsSnapshot) -> Result<(), String> {
+        if snap.entries().len() != self.metrics.len() {
+            return Err(format!(
+                "metric count mismatch: snapshot has {}, registry has {}",
+                snap.entries().len(),
+                self.metrics.len()
+            ));
+        }
+        for (key, value) in snap.entries() {
+            let &i = self
+                .index
+                .get(key)
+                .ok_or_else(|| format!("metric `{key}` not registered"))?;
+            match (&mut self.metrics[i], value) {
+                (Metric::Counter(v), MetricValue::Counter(s)) => *v = *s,
+                (Metric::Gauge(v), MetricValue::Gauge(s)) => *v = *s,
+                (Metric::Histogram(h), MetricValue::Histogram(s)) => *h = s.clone(),
+                _ => return Err(format!("metric `{key}` type mismatch")),
+            }
+        }
+        Ok(())
+    }
+
     /// Immutable snapshot, keys in sorted (byte) order.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -296,6 +349,14 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Builds a snapshot from `(key, value)` entries (checkpoint
+    /// restore). Entries are sorted by key, as [`MetricsRegistry::snapshot`]
+    /// would produce them.
+    pub fn from_entries(mut entries: Vec<(String, MetricValue)>) -> Self {
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        MetricsSnapshot { entries }
+    }
+
     /// All `(key, value)` entries, sorted by key.
     pub fn entries(&self) -> &[(String, MetricValue)] {
         &self.entries

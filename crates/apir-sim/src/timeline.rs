@@ -120,6 +120,46 @@ impl TimelineRecorder {
         self.window
     }
 
+    /// Checkpoint state:
+    /// `(capacity, cur, cur_len, cur_start, dropped)` plus the retained
+    /// ring via [`TimelineRecorder::ring`].
+    pub fn state(&self) -> (usize, TimelineSample, u64, u64, u64) {
+        (self.capacity, self.cur, self.cur_len, self.cur_start, self.dropped)
+    }
+
+    /// Retained (already closed) windows, oldest first.
+    pub fn ring(&self) -> impl Iterator<Item = &TimelineWindow> {
+        self.ring.iter()
+    }
+
+    /// Rebuilds a recorder from checkpointed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or the ring exceeds `capacity`.
+    pub fn from_parts(
+        window: u64,
+        capacity: usize,
+        cur: TimelineSample,
+        cur_len: u64,
+        cur_start: u64,
+        ring: Vec<TimelineWindow>,
+        dropped: u64,
+    ) -> Self {
+        assert!(window > 0, "timeline window must be positive");
+        let capacity = capacity.max(1);
+        assert!(ring.len() <= capacity, "restored timeline ring exceeds capacity");
+        Self {
+            window,
+            capacity,
+            cur,
+            cur_len,
+            cur_start,
+            ring: ring.into(),
+            dropped,
+        }
+    }
+
     /// Folds one cycle's deltas.
     pub fn observe(&mut self, s: &TimelineSample) {
         self.observe_n(s, 1);

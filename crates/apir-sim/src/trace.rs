@@ -122,6 +122,37 @@ impl EventTrace {
     pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
         self.buf.iter()
     }
+
+    /// Rebuilds a trace from checkpointed state. The caller resolves
+    /// each record's `&'static str` event label (they are interned in a
+    /// static table at the recording sites).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more records are supplied than the capacity retains, or
+    /// if the conservation invariant `emitted == len + dropped` breaks.
+    pub fn from_parts(
+        cap: usize,
+        components: Vec<String>,
+        records: Vec<TraceRecord>,
+        dropped: u64,
+        emitted: u64,
+    ) -> Self {
+        let cap = cap.max(1);
+        assert!(records.len() <= cap, "restored trace exceeds capacity");
+        assert_eq!(
+            emitted,
+            records.len() as u64 + dropped,
+            "trace conservation invariant violated on restore"
+        );
+        EventTrace {
+            cap,
+            buf: records.into(),
+            dropped,
+            emitted,
+            components,
+        }
+    }
 }
 
 #[cfg(test)]

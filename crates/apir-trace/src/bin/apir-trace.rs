@@ -14,8 +14,9 @@
 use apir_bench::scale::APP_NAMES;
 use apir_bench::Scale;
 use apir_trace::{
-    analysis_report, analyze_app, chaos_run, chrome_trace, diff_docs, text_summary, timeline_csv,
-    timeline_run, timeline_sparkline, traced_run, validate_analysis,
+    analysis_report, analyze_app, chaos_run, chrome_trace, diff_docs, restore_run, snapshot_at,
+    text_summary, timeline_csv, timeline_run, timeline_sparkline, traced_run, validate_analysis,
+    SnapshotAt,
 };
 
 const USAGE: &str = "\
@@ -53,12 +54,30 @@ commands:
       static bound, and the predicted dominant stall cause equal to
       the measured fabric.stall.* top cause.
       exit 0: validated   exit 1: contract violation
+  snapshot <APP> --at N [--scale tiny|small|medium|large] [--cap N]
+                 [--faults SEED] [--out PATH]
+      Run one builtin app up to cycle N, pause, and write the complete
+      fabric state as an apir.fabric.snapshot.v1 document (stdout, or
+      --out PATH). Feeding it to `restore-run` with the same flags
+      finishes the run byte-identically to an uninterrupted one.
+      --at      cycle to pause at (required; the event wheel may pause
+                on the first scheduled cycle past a quiescent jump)
+      --cap     trace ring capacity (default: 65536, as `run`)
+      --faults  arm the chaos preset with this seed, as `run`
+      exit 0: snapshot written   exit 1: run completed before --at
+  restore-run <APP> <SNAPSHOT.json> [--scale tiny|small|medium|large]
+              [--cap N] [--faults SEED] [--json PATH]
+      Restore a paused run from a snapshot document, run it to
+      completion, verify it against the app checker, and print the
+      summary. APP/--scale/--cap/--faults must match the snapshot run;
+      any structural mismatch is diagnosed, not silently accepted.
+      --json    write the full report as JSON to PATH
   campaign <PLAN.json> [--threads N] [--inflight N] [--out PATH]
-                       [--json PATH]
+                       [--json PATH] [--resume PARTIAL.jsonl]
   campaign --stdin [--threads N] [--inflight N]
       Expand a campaign plan (apir.campaign.plan.v1: apps x seeds x
-      config variants, chaos per variant) and run every cell on a
-      work-stealing fleet. Records stream as JSON Lines in
+      config variants, chaos and retries per variant) and run every
+      cell on a work-stealing fleet. Records stream as JSON Lines in
       (app, config, seed) order — the merged output is byte-identical
       for any --threads. A failing cell becomes a structured error
       record; the fleet never aborts.
@@ -67,12 +86,18 @@ commands:
       --out       write the JSONL records to PATH instead of stdout
       --json      also write the single apir.campaign.results.v1
                   document to PATH (diffable with `apir-trace diff`)
+      --resume    pick up a killed run from its partial JSONL: completed
+                  records are re-emitted verbatim (a torn final line is
+                  discarded), only missing cells run, and the output is
+                  byte-identical to an uninterrupted run
       --stdin     server mode: accept one plan JSON per input line,
                   stream records to stdout and summaries to stderr;
                   a malformed plan is diagnosed, not fatal
       exit 0: all cells ok   exit 1: cell failures   exit 2: bad plan
   diff <A.json> <B.json> [--machine] [--tolerance-wall]
-      Compare two report/baseline JSON documents key by key.
+      Compare two JSON documents of the same schema key by key
+      (fabric reports, campaign results, analysis baselines, or
+      apir.fabric.snapshot.v1 snapshots — drift shows as exact keys).
       --machine         stable pipe-separated output for scripts
       --tolerance-wall  ignore wall-clock keys (wall_ms, mcycles_per_sec)
       exit 0: identical   exit 1: drift   exit 2: schema mismatch/error
@@ -147,6 +172,139 @@ fn cmd_run(args: Vec<String>) {
         }
         println!("\nwrote Chrome trace: {path}");
     }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("apir-trace: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote report JSON: {path}");
+    }
+}
+
+/// Parses the `<APP> [--scale S] [--cap N] [--faults SEED]` tail shared
+/// by `snapshot` and `restore-run`, returning any unrecognized
+/// positional arguments for the caller to interpret.
+fn runner_flags(
+    args: Vec<String>,
+    cmd: &str,
+) -> (String, Scale, usize, Option<u64>, Vec<String>) {
+    let mut args = args.into_iter();
+    let Some(app) = args.next() else {
+        fail(&format!("{cmd} needs an app name"));
+    };
+    if !APP_NAMES.contains(&app.as_str()) {
+        fail(&format!("unknown app `{app}` (try `apir-trace list`)"));
+    }
+    let mut scale = Scale::Tiny;
+    let mut cap: usize = 1 << 16;
+    let mut fault_seed: Option<u64> = None;
+    let mut rest: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = next_value(&mut args, "--scale");
+                scale = Scale::parse(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown scale `{v}`")));
+            }
+            "--cap" => {
+                let v = next_value(&mut args, "--cap");
+                cap = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--cap wants a number, got `{v}`")));
+            }
+            "--faults" => {
+                let v = next_value(&mut args, "--faults");
+                fault_seed = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("--faults wants a seed, got `{v}`"))),
+                );
+            }
+            _ => rest.push(arg),
+        }
+    }
+    (app, scale, cap, fault_seed, rest)
+}
+
+fn cmd_snapshot(args: Vec<String>) {
+    let (app, scale, cap, fault_seed, rest) = runner_flags(args, "snapshot");
+    let mut at: Option<u64> = None;
+    let mut out_path: Option<String> = None;
+    let mut rest = rest.into_iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--at" => {
+                let v = next_value(&mut rest, "--at");
+                at = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("--at wants a cycle, got `{v}`"))),
+                );
+            }
+            "--out" => out_path = Some(next_value(&mut rest, "--out")),
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    let Some(at) = at else {
+        fail("snapshot needs --at <cycle>");
+    };
+    match snapshot_at(&app, scale, cap, fault_seed, at) {
+        SnapshotAt::Completed(report) => {
+            eprintln!(
+                "apir-trace: {app} completed at cycle {} before --at {at}; no snapshot taken",
+                report.cycles
+            );
+            std::process::exit(1);
+        }
+        SnapshotAt::Paused(doc) => {
+            let cycle = doc.get("cycle").and_then(apir_util::Json::as_u64).unwrap_or(at);
+            let mut text = doc.render_pretty();
+            text.push('\n');
+            match out_path {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, text) {
+                        eprintln!("apir-trace: writing {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("wrote snapshot at cycle {cycle}: {path}");
+                }
+                None => print!("{text}"),
+            }
+        }
+    }
+}
+
+fn cmd_restore_run(args: Vec<String>) {
+    let (app, scale, cap, fault_seed, rest) = runner_flags(args, "restore-run");
+    let mut snap_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut rest = rest.into_iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--json" => json_path = Some(next_value(&mut rest, "--json")),
+            other if other.starts_with('-') => fail(&format!("unknown flag `{other}`")),
+            path => {
+                if snap_path.is_some() {
+                    fail("restore-run takes exactly one snapshot file");
+                }
+                snap_path = Some(path.to_string());
+            }
+        }
+    }
+    let Some(path) = snap_path else {
+        fail("restore-run needs a snapshot file");
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("apir-trace: reading {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = apir_util::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("apir-trace: parsing {path}: {e}");
+        std::process::exit(2);
+    });
+    let report = restore_run(&app, scale, cap, fault_seed, &doc).unwrap_or_else(|e| {
+        eprintln!("apir-trace: {path}: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", text_summary(&report));
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, report.to_json()) {
             eprintln!("apir-trace: writing {path}: {e}");
@@ -336,9 +494,11 @@ fn cmd_campaign(args: Vec<String>) {
     let mut inflight: usize = apir_campaign::DEFAULT_INFLIGHT;
     let mut out_path: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--stdin" => stdin_mode = true,
+            "--resume" => resume_path = Some(next_value(&mut args, "--resume")),
             "--threads" => {
                 let v = next_value(&mut args, "--threads");
                 threads = v
@@ -367,8 +527,9 @@ fn cmd_campaign(args: Vec<String>) {
         }
     }
     if stdin_mode {
-        if plan_path.is_some() || out_path.is_some() || json_path.is_some() {
-            fail("--stdin reads plans from stdin and writes records to stdout; it takes no plan file, --out, or --json");
+        if plan_path.is_some() || out_path.is_some() || json_path.is_some() || resume_path.is_some()
+        {
+            fail("--stdin reads plans from stdin and writes records to stdout; it takes no plan file, --out, --json, or --resume");
         }
         campaign_server(threads, inflight);
     }
@@ -385,7 +546,7 @@ fn cmd_campaign(args: Vec<String>) {
     });
 
     use std::io::Write;
-    let dest: Box<dyn Write + Send> = match &out_path {
+    let mut dest: Box<dyn Write + Send> = match &out_path {
         Some(p) => Box::new(std::io::BufWriter::new(std::fs::File::create(p).unwrap_or_else(
             |e| {
                 eprintln!("apir-trace: creating {p}: {e}");
@@ -394,22 +555,71 @@ fn cmd_campaign(args: Vec<String>) {
         ))),
         None => Box::new(std::io::stdout()),
     };
-    let mut writer = apir_util::JsonlWriter::new(dest);
     let collect = json_path.is_some();
     let mut records: Vec<apir_util::Json> = Vec::new();
-    let summary = apir_campaign::run_campaign(&plan, threads, inflight, |r| {
-        writer.write(r).unwrap_or_else(|e| {
-            eprintln!("apir-trace: writing records: {e}");
-            std::process::exit(1);
-        });
-        if collect {
-            records.push(r.clone());
+    let summary = match &resume_path {
+        None => {
+            let mut writer = apir_util::JsonlWriter::new(dest);
+            let summary = apir_campaign::run_campaign(&plan, threads, inflight, |r| {
+                writer.write(r).unwrap_or_else(|e| {
+                    eprintln!("apir-trace: writing records: {e}");
+                    std::process::exit(1);
+                });
+                if collect {
+                    records.push(r.clone());
+                }
+            });
+            if let Err(e) = writer.finish() {
+                eprintln!("apir-trace: flushing records: {e}");
+                std::process::exit(1);
+            }
+            summary
         }
-    });
-    if let Err(e) = writer.finish() {
-        eprintln!("apir-trace: flushing records: {e}");
-        std::process::exit(1);
-    }
+        Some(rp) => {
+            let text = std::fs::read_to_string(rp).unwrap_or_else(|e| {
+                eprintln!("apir-trace: reading {rp}: {e}");
+                std::process::exit(2);
+            });
+            let partial = apir_campaign::parse_partial(&text).unwrap_or_else(|e| {
+                eprintln!("apir-trace: {rp}: {e}");
+                std::process::exit(2);
+            });
+            // Completed lines re-emit byte-for-byte; only missing
+            // cells run, so the stream matches an uninterrupted run.
+            let resumed = apir_campaign::run_campaign_resume(
+                &plan,
+                threads,
+                inflight,
+                &partial,
+                |line| {
+                    writeln!(dest, "{line}").unwrap_or_else(|e| {
+                        eprintln!("apir-trace: writing records: {e}");
+                        std::process::exit(1);
+                    });
+                    if collect {
+                        let doc = apir_util::json::parse(line)
+                            .expect("campaign records are valid JSON");
+                        records.push(doc);
+                    }
+                },
+            );
+            let (summary, stats) = resumed.unwrap_or_else(|e| {
+                eprintln!("apir-trace: {rp}: {e}");
+                std::process::exit(2);
+            });
+            if let Err(e) = dest.flush() {
+                eprintln!("apir-trace: flushing records: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "campaign.resume.reused={} campaign.resume.ran={} campaign.resume.torn={}",
+                stats.reused,
+                stats.ran,
+                u8::from(stats.torn)
+            );
+            summary
+        }
+    };
     if let Some(p) = json_path {
         let doc = apir_campaign::doc_from(&plan, records, &summary);
         let mut text = doc.render_pretty();
@@ -530,6 +740,8 @@ fn main() {
     let cmd = args.remove(0);
     match cmd.as_str() {
         "run" => cmd_run(args),
+        "snapshot" => cmd_snapshot(args),
+        "restore-run" => cmd_restore_run(args),
         "timeline" => cmd_timeline(args),
         "analyze" => cmd_analyze(args),
         "validate-analysis" => cmd_validate_analysis(args),

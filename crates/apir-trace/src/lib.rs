@@ -65,6 +65,96 @@ pub fn chaos_run(name: &str, scale: Scale, trace_capacity: usize, fault_seed: u6
     report
 }
 
+/// The configuration one of the CLI runners executes `name` under: the
+/// synthesized baseline with the trace ring and (optionally) the chaos
+/// preset armed, then the cache scaling and tuning hooks `run_verified`
+/// applies — so a paused-and-restored run rebuilds the *exact* fabric
+/// the uninterrupted runner uses.
+fn runner_app_cfg(
+    name: &str,
+    scale: Scale,
+    trace_capacity: usize,
+    fault_seed: Option<u64>,
+) -> (apir_bench::scale::AppInstance, apir_fabric::FabricConfig) {
+    let app = apir_bench::scale::build_app(name, scale);
+    let mut cfg = synthesized_cfg(name, scale);
+    cfg.trace_capacity = trace_capacity;
+    if let Some(seed) = fault_seed {
+        cfg.faults = apir_fabric::FaultConfig::chaos(seed);
+    }
+    apir_bench::experiments::scale_cache(&mut cfg, &app.input);
+    (app.tune)(&mut cfg);
+    (app, cfg)
+}
+
+/// What [`snapshot_at`] produced.
+pub enum SnapshotAt {
+    /// The run paused at (or just past) the requested cycle; the
+    /// `apir.fabric.snapshot.v1` document captures its complete state.
+    Paused(Json),
+    /// The run completed before reaching the requested cycle; the
+    /// verified final report is returned instead of a snapshot.
+    Completed(Box<FabricReport>),
+}
+
+/// Runs builtin app `name` up to cycle `at` and snapshots the paused
+/// fabric as an `apir.fabric.snapshot.v1` document. The configuration
+/// recipe matches [`traced_run`]/[`chaos_run`] exactly, so feeding the
+/// document to [`restore_run`] finishes the run byte-identically to the
+/// uninterrupted runner.
+///
+/// # Panics
+///
+/// Panics on an unknown app name or a failed run (same contract as
+/// [`traced_run`]).
+pub fn snapshot_at(
+    name: &str,
+    scale: Scale,
+    trace_capacity: usize,
+    fault_seed: Option<u64>,
+    at: u64,
+) -> SnapshotAt {
+    let (app, cfg) = runner_app_cfg(name, scale, trace_capacity, fault_seed);
+    let split = apir_fabric::Fabric::new(&app.spec, &app.input, cfg)
+        .run_until(at)
+        .unwrap_or_else(|e| panic!("{name}: fabric failed: {e}"));
+    match split {
+        apir_fabric::RunSplit::Paused(fabric) => SnapshotAt::Paused(fabric.snapshot()),
+        apir_fabric::RunSplit::Done(report) => {
+            (app.check)(&report.mem_image)
+                .unwrap_or_else(|e| panic!("{name}: bad result: {e}"));
+            SnapshotAt::Completed(report)
+        }
+    }
+}
+
+/// Restores builtin app `name` from a snapshot document and runs it to
+/// completion, verifying the final memory image against the app's
+/// checker. The `(scale, trace_capacity, fault_seed)` triple must match
+/// the one the snapshot was taken under — restore validates the
+/// structural fit and fails loudly on any mismatch.
+///
+/// # Errors
+///
+/// A human-readable message when the document does not fit the rebuilt
+/// fabric, the resumed run fails, or the checker rejects the image.
+pub fn restore_run(
+    name: &str,
+    scale: Scale,
+    trace_capacity: usize,
+    fault_seed: Option<u64>,
+    doc: &Json,
+) -> Result<FabricReport, String> {
+    let (app, cfg) = runner_app_cfg(name, scale, trace_capacity, fault_seed);
+    let fabric = apir_fabric::Fabric::restore(&app.spec, &app.input, cfg, doc)?;
+    let report = fabric
+        .run()
+        .map_err(|e| format!("restored run failed: {e}"))?;
+    (app.check)(&report.mem_image)
+        .map_err(|e| format!("restored run produced a bad image: {e}"))?;
+    Ok(report)
+}
+
 /// Like [`traced_run`], but with the windowed timeline recorder armed:
 /// the report carries a `timeline` block of per-window activity/memory
 /// deltas (see `apir-trace timeline`). `fault_seed` optionally arms the

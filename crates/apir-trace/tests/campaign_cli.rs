@@ -90,6 +90,60 @@ fn malformed_plans_exit_2_with_pinned_diagnostics() {
 }
 
 #[test]
+fn resume_from_a_torn_partial_is_byte_identical() {
+    // Kill-and-resume: run the smoke plan in full, then hand `--resume`
+    // a partial log holding five complete records plus half of the
+    // sixth (a torn tail, as a SIGKILL mid-write leaves behind). The
+    // resumed stream must be byte-identical to the uninterrupted one at
+    // a different thread count, and the stderr summary must account for
+    // every cell as either reused or re-run.
+    let path = plan("smoke12.json");
+    let path = path.to_str().unwrap();
+    let full = campaign(&[path, "--threads", "1"]);
+    assert_eq!(full.status.code(), Some(0), "{}", stderr(&full));
+    let text = String::from_utf8(full.stdout.clone()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let torn: String = lines[..5]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect::<String>()
+        + &lines[5][..lines[5].len() / 2];
+    let dir = std::env::temp_dir().join(format!("apir-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let partial = dir.join("partial.jsonl");
+    std::fs::write(&partial, torn).unwrap();
+
+    let resumed = campaign(&[
+        path,
+        "--threads",
+        "8",
+        "--resume",
+        partial.to_str().unwrap(),
+    ]);
+    assert_eq!(resumed.status.code(), Some(0), "{}", stderr(&resumed));
+    assert_eq!(
+        resumed.stdout, full.stdout,
+        "resumed records diverged from the uninterrupted run"
+    );
+    let err = stderr(&resumed);
+    assert!(
+        err.contains("campaign.resume.reused=5 campaign.resume.ran=7 campaign.resume.torn=1"),
+        "resume accounting drifted:\n{err}"
+    );
+    // A resume log that is not from this plan is refused, not merged.
+    let foreign = dir.join("foreign.jsonl");
+    std::fs::write(
+        &foreign,
+        "{\"app\":\"SPEC-BFS\",\"config\":\"no-such-config\",\"seed\":1,\"status\":\"ok\"}\n",
+    )
+    .unwrap();
+    let out = campaign(&[path, "--resume", foreign.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("is not a cell of this plan"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn usage_errors_exit_2() {
     for args in [
         &[][..],                                  // no plan, no --stdin
@@ -97,6 +151,7 @@ fn usage_errors_exit_2() {
         &["--bogus"][..],                         // unknown flag
         &["a.json", "b.json"][..],                // two plan files
         &["--stdin", "also-a-plan.json"][..],     // stdin + file
+        &["--stdin", "--resume", "p.jsonl"][..],  // stdin + resume
     ] {
         let out = campaign(args);
         assert_eq!(out.status.code(), Some(2), "args {args:?}");

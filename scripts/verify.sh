@@ -20,7 +20,10 @@ cargo run -q --release --offline -p apir-check --bin apir-lint -- --analyze --st
 
 bench_base=$(mktemp) ; chaos_a=$(mktemp) ; chaos_b=$(mktemp) ; analysis_tmp=$(mktemp)
 camp_a=$(mktemp) ; camp_b=$(mktemp)
-trap 'rm -f "$bench_base" "$chaos_a" "$chaos_b" "$analysis_tmp" "$camp_a" "$camp_b"' EXIT
+snap_doc=$(mktemp) ; snap_full=$(mktemp) ; snap_resumed=$(mktemp)
+resume_full=$(mktemp) ; resume_partial=$(mktemp) ; resume_out=$(mktemp)
+trap 'rm -f "$bench_base" "$chaos_a" "$chaos_b" "$analysis_tmp" "$camp_a" "$camp_b" \
+  "$snap_doc" "$snap_full" "$snap_resumed" "$resume_full" "$resume_partial" "$resume_out"' EXIT
 
 echo "==> static-analysis baseline drift gate (apir.analysis.report.v1)"
 cargo run -q --release --offline -p apir-trace -- analyze --json "$analysis_tmp" > /dev/null
@@ -79,6 +82,37 @@ cargo run -q --release --offline -p apir-trace -- \
 if ! cargo run -q --release --offline -p apir-trace -- \
   diff --machine "$camp_a" "$camp_b"; then
   echo "ERROR: an 8-thread campaign diverged from the 1-thread merge (keys above)." >&2
+  exit 1
+fi
+
+echo "==> snapshot round-trip gate (pause, serialize, restore, byte-identical finish)"
+cargo run -q --release --offline -p apir-trace -- \
+  run SPEC-BFS --json "$snap_full" > /dev/null
+cargo run -q --release --offline -p apir-trace -- \
+  snapshot SPEC-BFS --at 400 --out "$snap_doc" > /dev/null
+cargo run -q --release --offline -p apir-trace -- \
+  restore-run SPEC-BFS "$snap_doc" --json "$snap_resumed" > /dev/null
+# The resumed report carries no wall-clock keys: a restored run must be
+# indistinguishable from the run it resumed, on every key.
+if ! cargo run -q --release --offline -p apir-trace -- \
+  diff --machine "$snap_full" "$snap_resumed"; then
+  echo "ERROR: a run restored from a snapshot diverged from the uninterrupted run (keys above)." >&2
+  exit 1
+fi
+
+echo "==> campaign resume gate (torn partial log, 8-thread resume == 1-thread full run)"
+cargo run -q --release --offline -p apir-trace -- \
+  campaign tests/plans/smoke12.json --threads 1 --out "$resume_full" > /dev/null 2>&1
+# Simulate a SIGKILL mid-write: keep five complete records plus the
+# first half of the sixth line, with no trailing newline.
+head -n 5 "$resume_full" > "$resume_partial"
+sed -n 6p "$resume_full" | cut -c1-50 | tr -d '\n' >> "$resume_partial"
+cargo run -q --release --offline -p apir-trace -- \
+  campaign tests/plans/smoke12.json --threads 8 \
+  --resume "$resume_partial" --out "$resume_out" > /dev/null 2>&1
+if ! cmp -s "$resume_full" "$resume_out"; then
+  echo "ERROR: a resumed campaign diverged from the uninterrupted record stream." >&2
+  diff "$resume_full" "$resume_out" | head -5 >&2
   exit 1
 fi
 

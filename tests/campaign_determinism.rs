@@ -83,7 +83,13 @@ fn merged_stream_interleaves_ok_and_error_records_in_key_order() {
                 let e = r.get("error").unwrap();
                 assert_eq!(e.get("kind").unwrap().as_str(), Some("max_cycles"));
                 assert_eq!(e.get("cycle").unwrap().as_u64(), Some(64));
-                assert!(r.get("report").is_none(), "error records carry no report");
+                // Error records embed the partial report, stamped with
+                // where the run died — the campaign-side view of
+                // `FabricError::partial_report_json()`.
+                let report = r.get("report").expect("error records embed the partial report");
+                let t = report.get("terminated").expect("terminated stamp");
+                assert_eq!(t.get("kind").unwrap().as_str(), Some("max_cycles"));
+                assert_eq!(t.get("cycle").unwrap().as_u64(), Some(64));
             }
             "base" => {
                 assert_eq!(status, "ok");

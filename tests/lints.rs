@@ -370,6 +370,65 @@ fn degenerate_fault_plan_is_apir504() {
 }
 
 #[test]
+fn rollback_without_checkpoint_is_apir505() {
+    use apir::fabric::{FabricConfig, FaultConfig};
+    let mut cfg = FabricConfig {
+        max_rollbacks: 2,
+        checkpoint_interval: 0,
+        ..FabricConfig::default()
+    };
+    cfg.faults = FaultConfig::chaos(1);
+    let report = cfg.validate();
+    assert!(has_at_least(
+        &report,
+        Lint::RollbackWithoutCheckpoint,
+        Severity::Error
+    ));
+    assert_eq!(Lint::RollbackWithoutCheckpoint.code(), "APIR505");
+    // Arming the checkpoint clears the error.
+    cfg.checkpoint_interval = 256;
+    assert!(!cfg.validate().has_errors());
+}
+
+#[test]
+fn checkpoint_never_fires_is_apir506() {
+    use apir::fabric::FabricConfig;
+    let cfg = FabricConfig {
+        checkpoint_interval: 10_000_000,
+        max_cycles: 1_000_000,
+        ..FabricConfig::default()
+    };
+    let report = cfg.validate();
+    assert!(has_at_least(
+        &report,
+        Lint::CheckpointNeverFires,
+        Severity::Warn
+    ));
+    assert_eq!(Lint::CheckpointNeverFires.code(), "APIR506");
+    // A warning, not an error: the cycle-0 checkpoint still exists, so
+    // the config is odd but runnable.
+    assert!(!report.has_errors());
+}
+
+#[test]
+fn rollback_without_faults_is_apir507() {
+    use apir::fabric::FabricConfig;
+    let cfg = FabricConfig {
+        max_rollbacks: 4,
+        checkpoint_interval: 256,
+        ..FabricConfig::default()
+    };
+    let report = cfg.validate();
+    assert!(has_at_least(
+        &report,
+        Lint::RollbackWithoutFaults,
+        Severity::Info
+    ));
+    assert_eq!(Lint::RollbackWithoutFaults.code(), "APIR507");
+    assert!(!report.has_errors());
+}
+
+#[test]
 fn builtin_fabric_configs_are_lint_clean() {
     for (name, cfg) in apir::check::builtin_fabric_configs() {
         let report = cfg.validate();

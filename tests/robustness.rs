@@ -1,6 +1,8 @@
 //! Robustness-path tests: the progress watchdog's escalation ladder,
-//! rendezvous timeout bounces, and the partial reports carried by every
-//! runtime error (`Deadlock`, `MaxCycles`, `LinkFailed`).
+//! rendezvous timeout bounces, the partial reports carried by every
+//! runtime error (`Deadlock`, `MaxCycles`, `LinkFailed`), and the
+//! checkpoint/rollback ladder that turns terminal link failures into
+//! bounded rollback-and-replay recoveries.
 
 use apir::bench::experiments::{scale_cache, synthesized_cfg};
 use apir::bench::scale::build_app;
@@ -122,6 +124,144 @@ fn exhausted_link_retries_escalate_to_link_failed() {
     let report = err.partial_report().expect("link failure carries a report");
     assert_eq!(report.faults.link_escalated, 1);
     assert!(report.faults.link_dropped > report.faults.link_retried);
+}
+
+#[test]
+fn partial_report_json_stamps_the_terminal_cause() {
+    // Satellite: `terminated: {kind, cycle}` must ride on the partial
+    // report document, so campaign error records and snapshots agree on
+    // where a run died.
+    let (s, input) = one_miss_spec();
+    let mut cfg = FabricConfig {
+        deadlock_cycles: 100,
+        rendezvous_timeout: 16,
+        ..FabricConfig::default()
+    };
+    cfg.mem.qpi_gbps = 1e-9;
+    let err = Fabric::new(&s, &input, cfg).run().unwrap_err();
+    let FabricError::Deadlock { cycle, .. } = err else {
+        panic!("expected Deadlock, got {err}");
+    };
+    let doc = err.partial_report_json().expect("deadlock carries a report");
+    let t = doc.get("terminated").expect("terminated stamp present");
+    assert_eq!(t.get("kind").unwrap().as_str(), Some("deadlock"));
+    assert_eq!(t.get("cycle").unwrap().as_u64(), Some(cycle));
+    // Same stamp for a permanent link failure.
+    let mut cfg = FabricConfig::default();
+    cfg.faults = FaultConfig {
+        seed: 7,
+        drop_rate: 1.0,
+        retry_timeout: 4,
+        max_retries: 2,
+        ..FaultConfig::default()
+    };
+    let err = Fabric::new(&s, &input, cfg).run().unwrap_err();
+    let doc = err.partial_report_json().expect("link failure carries a report");
+    let t = doc.get("terminated").unwrap();
+    assert_eq!(t.get("kind").unwrap().as_str(), Some("link_failed"));
+    assert_eq!(
+        t.get("cycle").unwrap().as_u64(),
+        err.failure_cycle(),
+        "stamp and accessor agree"
+    );
+}
+
+/// A drop plan harsh enough that *some* seed exhausts the retry ladder
+/// (`max_retries: 1` means one double-drop kills the link) but mild
+/// enough that the run as a whole is survivable once the doomed window
+/// is replayed under a fresh salt.
+fn flaky_link(seed: u64) -> FaultConfig {
+    FaultConfig {
+        seed,
+        drop_rate: 0.03,
+        retry_timeout: 4,
+        max_retries: 1,
+        ..FaultConfig::default()
+    }
+}
+
+#[test]
+fn rollback_recovery_completes_a_run_that_link_failure_killed() {
+    // Acceptance: find a chaos seed whose run dies with LinkFailed when
+    // rollbacks are off, then re-run the *same* seed with periodic
+    // checkpoints and bounded rollback armed — it must now complete,
+    // pass the app checker, surface `fault.rollback.*`, and rerun
+    // byte-identically.
+    let name = "SPEC-BFS";
+    let app = build_app(name, Scale::Tiny);
+    let base = |seed: u64| {
+        let mut cfg = synthesized_cfg(name, Scale::Tiny);
+        scale_cache(&mut cfg, &app.input);
+        (app.tune)(&mut cfg);
+        cfg.faults = flaky_link(seed);
+        cfg
+    };
+    let mut recovered = None;
+    for seed in 0..64 {
+        let doomed = Fabric::new(&app.spec, &app.input, base(seed)).run();
+        let Err(FabricError::LinkFailed { cycle, .. }) = doomed else {
+            continue;
+        };
+        let mut cfg = base(seed);
+        cfg.checkpoint_interval = 256;
+        cfg.max_rollbacks = 16;
+        let Ok(report) = Fabric::new(&app.spec, &app.input, cfg.clone()).run() else {
+            // This seed is doomed even with replay headroom; keep looking.
+            continue;
+        };
+        recovered = Some((seed, cycle, cfg, report));
+        break;
+    }
+    let (seed, fail_cycle, cfg, report) =
+        recovered.expect("no seed in 0..64 exercised the rollback ladder");
+
+    // The recovery is real: the checker passes and the report says how
+    // many times the fabric rewound.
+    (app.check)(&report.mem_image)
+        .unwrap_or_else(|e| panic!("seed {seed}: recovered image is bad: {e}"));
+    let rb = report
+        .rollbacks
+        .as_ref()
+        .expect("armed rollback always reports its block");
+    assert!(rb.count > 0, "seed {seed}: completed without rolling back");
+    assert_eq!(rb.events.len() as u64, rb.count);
+    assert!(
+        rb.events.iter().any(|&(fail, resume)| fail >= resume),
+        "rollback events rewind: {:?}",
+        rb.events
+    );
+    assert_eq!(
+        report.metrics.counter("fault.rollback.count"),
+        Some(rb.count),
+        "metrics and report block agree"
+    );
+    assert!(
+        report.metrics.counter("fault.rollback.replayed_cycles").unwrap() >= 1,
+        "replay must cover at least the doomed stretch"
+    );
+    // The first rollback fires at or after the cycle the unprotected
+    // run died at (same seed, same fault stream up to that point).
+    assert_eq!(rb.events[0].0, fail_cycle, "seed {seed}");
+
+    // Deterministic: the same armed config reruns byte-identically.
+    let again = Fabric::new(&app.spec, &app.input, cfg).run().unwrap();
+    assert_eq!(report.to_json(), again.to_json(), "seed {seed}");
+}
+
+#[test]
+fn unarmed_runs_report_no_rollback_surface() {
+    // Golden protection: with `max_rollbacks == 0` (the default), the
+    // report has no `rollbacks` block and no `fault.rollback.*` keys,
+    // so every pre-rollback golden stays byte-identical.
+    let name = "SPEC-BFS";
+    let app = build_app(name, Scale::Tiny);
+    let mut cfg = synthesized_cfg(name, Scale::Tiny);
+    scale_cache(&mut cfg, &app.input);
+    (app.tune)(&mut cfg);
+    let report = Fabric::new(&app.spec, &app.input, cfg).run().unwrap();
+    assert!(report.rollbacks.is_none());
+    assert_eq!(report.metrics.counter("fault.rollback.count"), None);
+    assert!(!report.to_json().contains("rollback"));
 }
 
 #[test]
